@@ -1,0 +1,228 @@
+// Benchmark harness: one benchmark per table/figure of the paper's
+// evaluation. Each benchmark regenerates its figure through the experiment
+// harness and reports the figure's headline metric(s) via b.ReportMetric,
+// so `go test -bench=.` doubles as a reproduction run.
+//
+// Benchmarks default to quarter-length traces and suite subsets to keep a
+// full -bench=. pass tractable on a laptop; set THERMOMETER_BENCH_SCALE=1
+// (and _CBP5/_IPC1 limits) for paper-scale runs, or use cmd/paperfigs.
+package thermometer_test
+
+import (
+	"os"
+	"strconv"
+	"strings"
+	"testing"
+
+	"thermometer/internal/experiments"
+)
+
+func envInt(name string, def int) int {
+	if v := os.Getenv(name); v != "" {
+		if n, err := strconv.Atoi(v); err == nil && n > 0 {
+			return n
+		}
+	}
+	return def
+}
+
+func benchCtx() *experiments.Context {
+	c := experiments.NewContext(envInt("THERMOMETER_BENCH_SCALE", 4))
+	c.CBP5Traces = envInt("THERMOMETER_BENCH_CBP5", 30)
+	c.IPC1Traces = envInt("THERMOMETER_BENCH_IPC1", 10)
+	return c
+}
+
+// cell finds a row by first-column label and returns the named column as a
+// float (0 if unparseable).
+func cell(tables []*experiments.Table, rowLabel, colName string) float64 {
+	for _, t := range tables {
+		col := -1
+		for i, h := range t.Header {
+			if h == colName {
+				col = i
+			}
+		}
+		if col < 0 {
+			continue
+		}
+		for _, row := range t.Rows {
+			if row[0] == rowLabel && col < len(row) {
+				v, err := strconv.ParseFloat(strings.TrimSpace(row[col]), 64)
+				if err == nil {
+					return v
+				}
+			}
+		}
+	}
+	return 0
+}
+
+// runExperiment executes the experiment b.N times, reporting extracted
+// metrics from the final run.
+func runExperiment(b *testing.B, id string, metrics map[string][2]string) {
+	b.Helper()
+	ctx := benchCtx()
+	fn := experiments.Registry[id]
+	if fn == nil {
+		b.Fatalf("unknown experiment %s", id)
+	}
+	var tables []*experiments.Table
+	for i := 0; i < b.N; i++ {
+		tables = fn(ctx)
+	}
+	for metric, loc := range metrics {
+		b.ReportMetric(cell(tables, loc[0], loc[1]), metric)
+	}
+}
+
+func BenchmarkTable1(b *testing.B) {
+	runExperiment(b, "table1", nil)
+}
+
+func BenchmarkFig01PriorPolicies(b *testing.B) {
+	runExperiment(b, "fig1", map[string][2]string{
+		"srrip_speedup_pct": {"Avg", "SRRIP"},
+		"opt_speedup_pct":   {"Avg", "OPT"},
+	})
+}
+
+func BenchmarkFig02LimitStudy(b *testing.B) {
+	runExperiment(b, "fig2", map[string][2]string{
+		"perfect_btb_pct": {"Avg", "Perfect-BTB"},
+		"perfect_bp_pct":  {"Avg", "Perfect-BP"},
+		"perfect_ic_pct":  {"Avg", "Perfect-I-Cache"},
+	})
+}
+
+func BenchmarkFig03L2iMPKI(b *testing.B) {
+	runExperiment(b, "fig3", map[string][2]string{
+		"verilator_l2impki": {"verilator", "L2iMPKI"},
+		"cassandra_l2impki": {"cassandra", "L2iMPKI"},
+	})
+}
+
+func BenchmarkFig04Prefetchers(b *testing.B) {
+	runExperiment(b, "fig4", map[string][2]string{
+		"confluence_lru_pct": {"Avg", "Confluence-LRU"},
+		"shotgun_lru_pct":    {"Avg", "Shotgun-LRU"},
+		"perfect_btb_pct":    {"Avg", "Perfect-BTB"},
+	})
+}
+
+func BenchmarkFig05Variance(b *testing.B) {
+	runExperiment(b, "fig5", map[string][2]string{
+		"variance_ratio": {"Avg", "ratio"},
+	})
+}
+
+func BenchmarkFig06HitToTaken(b *testing.B) {
+	runExperiment(b, "fig6", map[string][2]string{
+		"drupal_median_hit_to_taken": {"50%", "drupal"},
+	})
+}
+
+func BenchmarkFig07DynamicCDF(b *testing.B) {
+	runExperiment(b, "fig7", map[string][2]string{
+		"drupal_cdf_at_50pct": {"50%", "drupal"},
+	})
+}
+
+func BenchmarkFig08Correlations(b *testing.B) {
+	runExperiment(b, "fig8", map[string][2]string{
+		"kafka_reuse_corr": {"kafka", "avg-reuse-distance"},
+		"kafka_bias_corr":  {"kafka", "bias"},
+	})
+}
+
+func BenchmarkFig09Bypass(b *testing.B) {
+	runExperiment(b, "fig9", map[string][2]string{
+		"cold_bypass_pct": {"Avg", "cold"},
+		"hot_bypass_pct":  {"Avg", "hot"},
+	})
+}
+
+func BenchmarkFig11Thermometer(b *testing.B) {
+	runExperiment(b, "fig11", map[string][2]string{
+		"thermometer_speedup_pct": {"Avg", "Thermometer"},
+		"opt_speedup_pct":         {"Avg", "OPT"},
+	})
+}
+
+func BenchmarkFig12MissReduction(b *testing.B) {
+	runExperiment(b, "fig12", map[string][2]string{
+		"thermometer_missred_pct": {"Avg", "Thermometer"},
+		"opt_missred_pct":         {"Avg", "OPT"},
+	})
+}
+
+func BenchmarkFig13CrossInput(b *testing.B) {
+	runExperiment(b, "fig13", map[string][2]string{
+		"training_profile_pct_of_opt": {"Avg", "Therm-training-profile"},
+	})
+}
+
+func BenchmarkFig14ProfilingTime(b *testing.B) {
+	runExperiment(b, "fig14", map[string][2]string{
+		"avg_profile_seconds": {"Avg", "seconds"},
+	})
+}
+
+func BenchmarkFig15Coverage(b *testing.B) {
+	runExperiment(b, "fig15", map[string][2]string{
+		"coverage_pct": {"Avg", "coverage"},
+	})
+}
+
+func BenchmarkFig16Accuracy(b *testing.B) {
+	runExperiment(b, "fig16", map[string][2]string{
+		"transient_accuracy_pct":   {"Avg", "Transient"},
+		"holistic_accuracy_pct":    {"Avg", "Holistic"},
+		"thermometer_accuracy_pct": {"Avg", "Thermometer"},
+	})
+}
+
+func BenchmarkFig17CBP5(b *testing.B) {
+	runExperiment(b, "fig17", map[string][2]string{
+		"avg_missred_over_ghrp_pct": {"avg miss reduction (%)", "value"},
+	})
+}
+
+func BenchmarkFig18IPC1(b *testing.B) {
+	runExperiment(b, "fig18", map[string][2]string{
+		"thermometer_speedup_pct": {"avg speedup (%)", "Thermometer"},
+		"opt_speedup_pct":         {"avg speedup (%)", "OPT"},
+	})
+}
+
+func BenchmarkFig19Geometry(b *testing.B) {
+	runExperiment(b, "fig19", map[string][2]string{
+		"therm_cassandra_8k_pct_of_opt": {"8192", "Therm-cassandra"},
+	})
+}
+
+func BenchmarkFig20CategoriesFTQ(b *testing.B) {
+	runExperiment(b, "fig20", map[string][2]string{
+		"therm_cassandra_3cat_pct_of_opt": {"3", "Therm-cassandra"},
+	})
+}
+
+func BenchmarkAblations(b *testing.B) {
+	runExperiment(b, "ablations", map[string][2]string{
+		"thermometer_pct": {"Avg", "Thermometer"},
+		"no_bypass_pct":   {"Avg", "no-bypass"},
+	})
+}
+
+func BenchmarkTwoLevelBTB(b *testing.B) {
+	runExperiment(b, "twolevel", map[string][2]string{
+		"two_level_therm_pct": {"Avg", "2L-Therm"},
+	})
+}
+
+func BenchmarkFig21Twig(b *testing.B) {
+	runExperiment(b, "fig21", map[string][2]string{
+		"thermometer_plus_twig_pct": {"Avg", "Thermometer"},
+		"opt_plus_twig_pct":         {"Avg", "OPT"},
+	})
+}

@@ -1,0 +1,143 @@
+// Command btbsim runs the timing simulator on a branch trace with a chosen
+// BTB replacement policy and prints IPC and frontend statistics. It is the
+// single-run counterpart of cmd/paperfigs.
+//
+// Usage:
+//
+//	btbsim -trace kafka0.trc                      # LRU baseline
+//	btbsim -trace kafka0.trc -policy thermometer -hints kafka.hints
+//	btbsim -trace kafka0.trc -policy opt -compare  # also run LRU, report speedup
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"thermometer/internal/bpred"
+	"thermometer/internal/btb"
+	"thermometer/internal/core"
+	"thermometer/internal/policy"
+	"thermometer/internal/profile"
+	"thermometer/internal/trace"
+)
+
+func policyByName(name string) (func() btb.Policy, bool) {
+	switch name {
+	case "lru":
+		return func() btb.Policy { return policy.NewLRU() }, true
+	case "random":
+		return func() btb.Policy { return policy.NewRandom() }, true
+	case "srrip":
+		return func() btb.Policy { return policy.NewSRRIP() }, true
+	case "ghrp":
+		return func() btb.Policy { return policy.NewGHRP() }, true
+	case "hawkeye":
+		return func() btb.Policy { return policy.NewHawkeye() }, true
+	case "opt":
+		return func() btb.Policy { return policy.NewOPT() }, true
+	case "thermometer":
+		return func() btb.Policy { return policy.NewThermometer() }, true
+	case "holistic":
+		return func() btb.Policy { return policy.NewHolisticOnly() }, true
+	default:
+		return nil, false
+	}
+}
+
+func main() {
+	var (
+		tracePath = flag.String("trace", "", "input trace file (required)")
+		polName   = flag.String("policy", "lru", "replacement policy: lru, random, srrip, ghrp, hawkeye, opt, thermometer, holistic")
+		hintsPath = flag.String("hints", "", "Thermometer hint file (from thermprof)")
+		entries   = flag.Int("entries", 8192, "BTB entries")
+		ways      = flag.Int("ways", 4, "BTB ways")
+		ftq       = flag.Int("ftq", 192, "FTQ capacity in instructions")
+		predictor = flag.String("predictor", "tage", "direction predictor: tage, perceptron, gshare, bimodal")
+		twoLevel  = flag.Bool("twolevel", false, "use a 1K+8K two-level BTB organization")
+		compare   = flag.Bool("compare", false, "also run the LRU baseline and report speedup")
+	)
+	flag.Parse()
+	if *tracePath == "" {
+		fatalf("need -trace")
+	}
+
+	f, err := os.Open(*tracePath)
+	if err != nil {
+		fatalf("open: %v", err)
+	}
+	tr, err := trace.Read(f)
+	f.Close()
+	if err != nil {
+		fatalf("read trace: %v", err)
+	}
+
+	newPolicy, ok := policyByName(*polName)
+	if !ok {
+		fatalf("unknown policy %q", *polName)
+	}
+
+	cfg := core.DefaultConfig()
+	cfg.BTBEntries = *entries
+	cfg.BTBWays = *ways
+	cfg.FTQInstrCap = *ftq
+	cfg.NewPolicy = newPolicy
+	if *twoLevel {
+		cfg.TwoLevelBTB = core.DefaultTwoLevelBTB()
+	}
+	switch *predictor {
+	case "tage":
+		// default
+	case "perceptron":
+		cfg.NewPredictor = func() bpred.Predictor { return bpred.NewPerceptron(14, 48) }
+	case "gshare":
+		cfg.NewPredictor = func() bpred.Predictor { return bpred.NewGshare(16) }
+	case "bimodal":
+		cfg.NewPredictor = func() bpred.Predictor { return bpred.NewBimodal(16) }
+	default:
+		fatalf("unknown predictor %q", *predictor)
+	}
+	if *hintsPath != "" {
+		hf, err := os.Open(*hintsPath)
+		if err != nil {
+			fatalf("open hints: %v", err)
+		}
+		ht, err := profile.ReadHints(hf)
+		hf.Close()
+		if err != nil {
+			fatalf("read hints: %v", err)
+		}
+		cfg.Hints = ht
+	}
+
+	r := core.Run(tr, cfg)
+	fmt.Printf("trace %s, policy %s, BTB %d×%d\n", tr.Name, *polName, *entries, *ways)
+	fmt.Printf("  instructions %d  cycles %d  IPC %.3f\n", r.Instructions, r.Cycles, r.IPC())
+	fmt.Printf("  BTB: %.2f%% hit rate, %.2f MPKI, %d bypasses\n",
+		100*r.BTB.HitRate(), r.BTBMPKI(), r.BTB.Bypasses)
+	fmt.Printf("  direction mispredicts %d  RAS mispredicts %d  IBTB mispredicts %d\n",
+		r.DirMispredicts, r.RASMispredicts, r.IBTBMispredicts)
+	fmt.Printf("  stall cycles: redirect %d  icache %d  data %d\n",
+		r.RedirectStall, r.ICacheStall, r.DataStall)
+	fmt.Printf("  L2 instruction MPKI %.2f\n", r.L2iMPKI)
+	if th, ok := r.Policy.(*policy.Thermometer); ok {
+		fmt.Printf("  thermometer coverage %.1f%%, policy bypasses %d\n",
+			100*th.Coverage(), th.Bypasses)
+	}
+
+	if *compare && *polName != "lru" {
+		base := core.Run(tr, func() core.Config {
+			c := cfg
+			c.NewPolicy = func() btb.Policy { return policy.NewLRU() }
+			c.Hints = nil
+			return c
+		}())
+		fmt.Printf("  speedup over LRU: %.2f%% (LRU IPC %.3f)\n",
+			100*core.Speedup(base, r), base.IPC())
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "btbsim: "+format+"\n", args...)
+	os.Exit(1)
+}

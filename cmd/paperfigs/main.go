@@ -1,0 +1,64 @@
+// Command paperfigs regenerates the tables and figures of the paper's
+// evaluation (Table 1 and Figs 1-9, 11-21).
+//
+// Usage:
+//
+//	paperfigs -exp fig11              # one experiment at full scale
+//	paperfigs -exp all -scale 4       # everything at quarter-length traces
+//	paperfigs -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"thermometer/internal/experiments"
+)
+
+func main() {
+	var (
+		exp   = flag.String("exp", "all", "experiment id (fig1..fig21, table1, all) or comma list")
+		scale = flag.Int("scale", 1, "divide trace lengths by this factor (1 = paper scale)")
+		cbp5  = flag.Int("cbp5", 0, "limit the number of CBP-5 traces (0 = all 663)")
+		ipc1  = flag.Int("ipc1", 0, "limit the number of IPC-1 traces (0 = all 50)")
+		list  = flag.Bool("list", false, "list experiments and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiments.IDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+
+	ctx := experiments.NewContext(*scale)
+	ctx.CBP5Traces = *cbp5
+	ctx.IPC1Traces = *ipc1
+
+	var ids []string
+	if *exp == "all" {
+		ids = experiments.IDs()
+	} else {
+		for _, id := range strings.Split(*exp, ",") {
+			id = strings.TrimSpace(id)
+			if experiments.Registry[id] == nil {
+				fmt.Fprintf(os.Stderr, "paperfigs: unknown experiment %q (try -list)\n", id)
+				os.Exit(1)
+			}
+			ids = append(ids, id)
+		}
+	}
+
+	for _, id := range ids {
+		start := time.Now()
+		tables := experiments.Registry[id](ctx)
+		for _, t := range tables {
+			t.Render(os.Stdout)
+		}
+		fmt.Printf("[%s took %v]\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+}

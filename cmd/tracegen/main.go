@@ -1,0 +1,84 @@
+// Command tracegen generates synthetic branch traces: the 13 data center
+// application models, or CBP-5/IPC-1-style suite traces, in the binary
+// trace format consumed by thermprof and btbsim.
+//
+// Usage:
+//
+//	tracegen -app kafka -input 0 -o kafka0.trc
+//	tracegen -suite cbp5 -index 42 -o cbp5_042.trc
+//	tracegen -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"thermometer/internal/trace"
+	"thermometer/internal/workload"
+)
+
+func main() {
+	var (
+		app    = flag.String("app", "", "application name (see -list)")
+		suite  = flag.String("suite", "", "trace suite: cbp5 or ipc1")
+		index  = flag.Int("index", 0, "suite trace index")
+		input  = flag.Int("input", 0, "application input configuration (0 = training input)")
+		length = flag.Int("length", 0, "override trace length in branch records (0 = spec default)")
+		out    = flag.String("o", "", "output file (default <name>.trc)")
+		list   = flag.Bool("list", false, "list available applications and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("applications:")
+		for _, s := range workload.Apps() {
+			fmt.Printf("  %-16s %7d static taken branches, %d records\n",
+				s.Name, s.HotBranches+s.WarmBranches+s.ColdBranches, s.Length)
+		}
+		fmt.Printf("suites: cbp5 (%d traces), ipc1 (%d traces)\n",
+			workload.CBP5Count, workload.IPC1Count)
+		return
+	}
+
+	var spec workload.AppSpec
+	switch {
+	case *app != "":
+		s, ok := workload.App(*app)
+		if !ok {
+			fatalf("unknown application %q (try -list)", *app)
+		}
+		spec = s
+	case *suite == "cbp5":
+		spec = workload.CBP5Spec(*index)
+	case *suite == "ipc1":
+		spec = workload.IPC1Spec(*index)
+	default:
+		fatalf("need -app or -suite (try -list)")
+	}
+	if *length > 0 {
+		spec.Length = *length
+	}
+
+	tr := spec.Generate(*input)
+	name := *out
+	if name == "" {
+		name = tr.Name + ".trc"
+	}
+	f, err := os.Create(name)
+	if err != nil {
+		fatalf("create: %v", err)
+	}
+	defer f.Close()
+	if err := trace.Write(f, tr); err != nil {
+		fatalf("write: %v", err)
+	}
+	sum := workload.Summarize(tr)
+	fmt.Printf("wrote %s: %d records, %d instructions, %d unique taken branches\n",
+		name, tr.Len(), sum.Instructions, sum.UniqueTaken)
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "tracegen: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,57 @@
+// Policy shoot-out: every replacement policy on several data center
+// workloads, reporting BTB miss reduction and IPC speedup over LRU —
+// a miniature of the paper's Figs 11 and 12.
+//
+// Run with: go run ./examples/policycompare
+package main
+
+import (
+	"fmt"
+
+	"thermometer"
+)
+
+const btbEntries, btbWays = 8192, 4
+
+type contender struct {
+	name      string
+	newPolicy func() thermometer.Policy
+	useHints  bool
+}
+
+func main() {
+	contenders := []contender{
+		{"SRRIP", thermometer.NewSRRIPPolicy, false},
+		{"GHRP", thermometer.NewGHRPPolicy, false},
+		{"Hawkeye", thermometer.NewHawkeyePolicy, false},
+		{"Thermometer", thermometer.NewThermometerPolicy, true},
+		{"OPT", thermometer.NewOPTPolicy, false},
+	}
+
+	apps := []string{"kafka", "mediawiki", "wordpress", "verilator"}
+	for _, name := range apps {
+		spec, _ := thermometer.App(name)
+		spec.Length /= 4
+		tr := spec.Generate(0)
+		hints, _, err := thermometer.Profile(tr, btbEntries, btbWays)
+		if err != nil {
+			panic(err)
+		}
+
+		lru := thermometer.Simulate(tr, thermometer.DefaultConfig())
+		fmt.Printf("%s (LRU: IPC %.3f, BTB MPKI %.1f)\n", name, lru.IPC(), lru.BTBMPKI())
+		fmt.Printf("  %-14s %12s %12s\n", "policy", "missRed", "speedup")
+		for _, c := range contenders {
+			cfg := thermometer.DefaultConfig()
+			cfg.NewPolicy = c.newPolicy
+			if c.useHints {
+				cfg.Hints = hints
+			}
+			r := thermometer.Simulate(tr, cfg)
+			missRed := (float64(lru.BTB.Misses) - float64(r.BTB.Misses)) / float64(lru.BTB.Misses)
+			fmt.Printf("  %-14s %11.2f%% %11.2f%%\n",
+				c.name, 100*missRed, 100*thermometer.Speedup(lru, r))
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,65 @@
+// Quickstart: the Thermometer workflow end to end on one application.
+//
+//  1. Generate a training trace (the stand-in for an Intel PT capture).
+//  2. Profile it offline: Belady-optimal BTB simulation → temperature hints.
+//  3. Simulate a held-out execution with LRU and with Thermometer.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	"thermometer"
+)
+
+func main() {
+	const btbEntries, btbWays = 8192, 4
+
+	spec, ok := thermometer.App("kafka")
+	if !ok {
+		panic("unknown app")
+	}
+	// Keep the example snappy: quarter-length traces.
+	spec.Length /= 4
+
+	// Step 1-2: profile the training input (input #0).
+	train := spec.Generate(0)
+	hints, opt, err := thermometer.Profile(train, btbEntries, btbWays)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("profiled %s: %d branches, optimal hit rate %.1f%%\n",
+		train.Name, hints.Len(), 100*opt.HitRate())
+	shares := hints.CategoryShares()
+	fmt.Printf("temperature mix: %.0f%% cold, %.0f%% warm, %.0f%% hot\n",
+		100*shares[0], 100*shares[1], 100*shares[2])
+
+	// Step 3: evaluate on a different input with the training profile.
+	test := spec.Generate(1)
+
+	base := thermometer.DefaultConfig()
+	lru := thermometer.Simulate(test, base)
+
+	cfg := thermometer.DefaultConfig()
+	cfg.NewPolicy = thermometer.NewThermometerPolicy
+	cfg.Hints = hints
+	therm := thermometer.Simulate(test, cfg)
+
+	optCfg := thermometer.DefaultConfig()
+	optCfg.NewPolicy = thermometer.NewOPTPolicy
+	best := thermometer.Simulate(test, optCfg)
+
+	fmt.Printf("\n%-22s %8s %10s %10s\n", "policy", "IPC", "BTB MPKI", "speedup")
+	for _, row := range []struct {
+		name string
+		r    *thermometer.SimResult
+	}{
+		{"LRU (baseline)", lru},
+		{"Thermometer", therm},
+		{"Belady OPT (bound)", best},
+	} {
+		fmt.Printf("%-22s %8.3f %10.2f %9.2f%%\n",
+			row.name, row.r.IPC(), row.r.BTBMPKI(), 100*thermometer.Speedup(lru, row.r))
+	}
+}

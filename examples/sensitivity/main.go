@@ -1,0 +1,72 @@
+// Sensitivity study: how Thermometer's benefit scales with BTB capacity and
+// how it composes with profile-guided BTB prefetching (Twig) — miniatures
+// of the paper's Figs 19 and 21.
+//
+// Run with: go run ./examples/sensitivity
+package main
+
+import (
+	"fmt"
+
+	"thermometer"
+)
+
+func main() {
+	spec, _ := thermometer.App("tomcat")
+	spec.Length /= 4
+	tr := spec.Generate(0)
+
+	fmt.Println("BTB size sweep (tomcat): Thermometer speedup over LRU, % of OPT")
+	fmt.Printf("%8s %10s %10s %10s\n", "entries", "Therm", "OPT", "%ofOPT")
+	for _, entries := range []int{2048, 4096, 8192, 16384} {
+		// Profiles are geometry-specific (§3.4): re-profile per size.
+		hints, _, err := thermometer.Profile(tr, entries, 4)
+		if err != nil {
+			panic(err)
+		}
+		geo := func() thermometer.Config {
+			c := thermometer.DefaultConfig()
+			c.BTBEntries = entries
+			return c
+		}
+		lru := thermometer.Simulate(tr, geo())
+
+		cfg := geo()
+		cfg.NewPolicy = thermometer.NewThermometerPolicy
+		cfg.Hints = hints
+		th := thermometer.Speedup(lru, thermometer.Simulate(tr, cfg))
+
+		cfgO := geo()
+		cfgO.NewPolicy = thermometer.NewOPTPolicy
+		op := thermometer.Speedup(lru, thermometer.Simulate(tr, cfgO))
+
+		frac := 0.0
+		if op > 0 {
+			frac = th / op
+		}
+		fmt.Printf("%8d %9.2f%% %9.2f%% %9.1f%%\n", entries, 100*th, 100*op, 100*frac)
+	}
+
+	fmt.Println("\nWith Twig BTB prefetching (speedups over LRU+Twig):")
+	twig := thermometer.TrainTwig(tr, thermometer.TwigConfig{})
+	withTwig := func() thermometer.Config {
+		c := thermometer.DefaultConfig()
+		c.Prefetcher = twig
+		return c
+	}
+	base := thermometer.Simulate(tr, withTwig())
+	hints, _, err := thermometer.Profile(tr, 8192, 4)
+	if err != nil {
+		panic(err)
+	}
+	cfg := withTwig()
+	cfg.NewPolicy = thermometer.NewThermometerPolicy
+	cfg.Hints = hints
+	th := thermometer.Simulate(tr, cfg)
+	cfgO := withTwig()
+	cfgO.NewPolicy = thermometer.NewOPTPolicy
+	op := thermometer.Simulate(tr, cfgO)
+	fmt.Printf("%-14s %9.2f%%\n", "Thermometer", 100*thermometer.Speedup(base, th))
+	fmt.Printf("%-14s %9.2f%%\n", "OPT", 100*thermometer.Speedup(base, op))
+	fmt.Printf("(prefetch fills under Thermometer: %d)\n", th.PrefetchFills)
+}

@@ -1,0 +1,3 @@
+module thermometer
+
+go 1.22

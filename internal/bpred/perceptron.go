@@ -1,0 +1,119 @@
+package bpred
+
+// Perceptron implements Jiménez & Lin's perceptron branch predictor: each
+// branch hashes to a weight vector; the prediction is the sign of the dot
+// product of the weights with the global history (±1 per bit), trained on
+// mispredictions or low-confidence correct predictions. It complements
+// TAGE in the roster as the other major learning-based direction predictor
+// family and is exercised by the simulator's NewPredictor hook.
+type Perceptron struct {
+	weights [][]int8
+	history []int8 // ±1 per recent outcome
+	hLen    int
+	theta   int32
+
+	// Prediction bookkeeping between Predict and Update.
+	lastIdx uint64
+	lastSum int32
+
+	Lookups     uint64
+	Mispredicts uint64
+}
+
+// NewPerceptron returns a perceptron predictor with 2^logTables weight
+// vectors over histLen history bits.
+func NewPerceptron(logTables, histLen int) *Perceptron {
+	if logTables < 1 || logTables > 20 || histLen < 1 || histLen > 256 {
+		panic("bpred: perceptron geometry out of range")
+	}
+	p := &Perceptron{
+		weights: make([][]int8, 1<<logTables),
+		history: make([]int8, histLen),
+		hLen:    histLen,
+		// The classic threshold: ⌊1.93·h + 14⌋.
+		theta: int32(1.93*float64(histLen) + 14),
+	}
+	for i := range p.weights {
+		p.weights[i] = make([]int8, histLen+1) // +1 bias weight
+	}
+	for i := range p.history {
+		p.history[i] = 1
+	}
+	return p
+}
+
+// Name implements Predictor.
+func (p *Perceptron) Name() string { return "perceptron" }
+
+func (p *Perceptron) index(pc uint64) uint64 {
+	return (pc >> 1) % uint64(len(p.weights))
+}
+
+// Predict implements Predictor.
+func (p *Perceptron) Predict(pc uint64) bool {
+	p.Lookups++
+	i := p.index(pc)
+	w := p.weights[i]
+	sum := int32(w[0]) // bias
+	for j := 0; j < p.hLen; j++ {
+		sum += int32(w[j+1]) * int32(p.history[j])
+	}
+	p.lastIdx = i
+	p.lastSum = sum
+	return sum >= 0
+}
+
+// Update implements Predictor.
+func (p *Perceptron) Update(pc uint64, taken bool) {
+	predicted := p.lastSum >= 0
+	if predicted != taken {
+		p.Mispredicts++
+	}
+	t := int8(-1)
+	if taken {
+		t = 1
+	}
+	// Train on mispredictions and low-confidence predictions.
+	if predicted != taken || abs32(p.lastSum) <= p.theta {
+		w := p.weights[p.lastIdx]
+		bump(&w[0], t)
+		for j := 0; j < p.hLen; j++ {
+			if p.history[j] == t {
+				bump(&w[j+1], 1)
+			} else {
+				bump(&w[j+1], -1)
+			}
+		}
+	}
+	// Shift history.
+	copy(p.history[1:], p.history[:p.hLen-1])
+	p.history[0] = t
+}
+
+// MispredictRate returns mispredictions per lookup.
+func (p *Perceptron) MispredictRate() float64 {
+	if p.Lookups == 0 {
+		return 0
+	}
+	return float64(p.Mispredicts) / float64(p.Lookups)
+}
+
+func bump(w *int8, d int8) {
+	v := int16(*w) + int16(d)
+	if v > 127 {
+		v = 127
+	}
+	if v < -128 {
+		v = -128
+	}
+	*w = int8(v)
+}
+
+func abs32(x int32) int32 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+var _ Predictor = (*Perceptron)(nil)

@@ -1,0 +1,289 @@
+// Package btb models the Branch Target Buffer and its companion structures
+// (indirect-target buffer, return address stack).
+//
+// The BTB is a set-associative cache of taken-branch targets. Replacement is
+// delegated to a pluggable Policy (package policy provides LRU, SRRIP, GHRP,
+// Hawkeye, Belady OPT, and Thermometer). Following the paper, set indexing
+// is plain address-modulo-set-count (§4.2), which is why the 7979-entry
+// configuration of Fig 11 can distribute branches differently from the
+// 8192-entry one.
+package btb
+
+import (
+	"fmt"
+
+	"thermometer/internal/trace"
+)
+
+// Bypass is returned by Policy.Victim to indicate the incoming branch should
+// not be inserted at all (§2.5 of the paper).
+const Bypass = -1
+
+// Entry is one BTB way.
+type Entry struct {
+	Valid  bool
+	PC     uint64 // full-tag for simulation fidelity
+	Target uint64
+	Type   trace.BranchType
+	// Temperature is the Thermometer hint carried by the branch instruction
+	// and stored alongside the entry (2 extra bits per entry in hardware,
+	// §3.4). Hotter = larger value. Policies other than Thermometer ignore
+	// it.
+	Temperature uint8
+}
+
+// Request describes one BTB access (a dynamic taken branch about to be
+// looked up, and — on a miss — considered for insertion).
+type Request struct {
+	PC     uint64
+	Target uint64
+	Type   trace.BranchType
+	// Temperature is the hint injected into the branch instruction by the
+	// Thermometer toolchain. It travels with the request so the replacement
+	// policy can compare the incoming branch against residents (Alg. 1).
+	Temperature uint8
+	// Prefetch marks the request as a prefetcher-initiated fill rather
+	// than a demand insertion. A prefetch carries transient evidence of
+	// imminent reuse, which policies may weigh against holistic hints
+	// (Thermometer inserts prefetches even when their temperature alone
+	// would bypass them).
+	Prefetch bool
+	// NextUse is the oracle used by the OPT policy: the position in the
+	// access stream of the next access to this PC (trace.NoNextUse if
+	// none). Non-oracle policies must ignore it.
+	NextUse int
+	// Index is the position of this access in the access stream; the OPT
+	// policy needs it to interpret resident entries' stored next-use values.
+	Index int
+}
+
+// Policy decides replacement. Implementations keep all of their per-entry
+// metadata internally, sized by Reset.
+type Policy interface {
+	// Name returns a short identifier (used in tables and file names).
+	Name() string
+	// Reset prepares the policy for a BTB of the given geometry, clearing
+	// all learned state.
+	Reset(sets, ways int)
+	// OnHit notifies the policy that req hit way `way` of set `set`.
+	OnHit(set, way int, req *Request)
+	// OnInsert notifies the policy that req was inserted into way `way` of
+	// set `set` (after any eviction).
+	OnInsert(set, way int, req *Request)
+	// Victim selects the way to evict from `set` to make room for req, or
+	// returns Bypass to skip insertion. entries holds the set's ways
+	// (all valid — Victim is only consulted when the set is full).
+	Victim(set int, entries []Entry, req *Request) int
+}
+
+// Stats counts BTB events.
+type Stats struct {
+	Accesses   uint64
+	Hits       uint64
+	Misses     uint64
+	Bypasses   uint64
+	Insertions uint64
+	Evictions  uint64
+	// TargetUpdates counts hits whose stored target differed from the
+	// observed one (indirect branches changing targets).
+	TargetUpdates uint64
+	// PrefetchFills counts entries installed by a BTB prefetcher.
+	PrefetchFills uint64
+}
+
+// HitRate returns Hits/Accesses (0 when empty).
+func (s *Stats) HitRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Accesses)
+}
+
+// Result reports what one Access did, so drivers can record eviction events
+// for accuracy analyses without the BTB knowing about traces.
+type Result struct {
+	Hit      bool
+	Bypassed bool
+	// Evicted holds the displaced entry when an insertion evicted a valid
+	// entry (check Evicted.Valid).
+	Evicted Entry
+	// Way is the way hit or filled; -1 on bypass.
+	Way int
+}
+
+// BTB is a set-associative branch target buffer.
+type BTB struct {
+	sets, ways int
+	entries    []Entry // sets × ways, row-major
+	policy     Policy
+	stats      Stats
+}
+
+// New builds a BTB with totalEntries/ways sets (truncating division, which
+// is how the paper's 7979-entry configuration yields a non-power-of-two set
+// count). It panics on a degenerate geometry.
+func New(totalEntries, ways int, p Policy) *BTB {
+	if ways <= 0 || totalEntries < ways {
+		panic(fmt.Sprintf("btb: bad geometry %d entries / %d ways", totalEntries, ways))
+	}
+	return NewWithSets(totalEntries/ways, ways, p)
+}
+
+// NewWithSets builds a BTB with an explicit set count.
+func NewWithSets(sets, ways int, p Policy) *BTB {
+	if sets <= 0 || ways <= 0 {
+		panic(fmt.Sprintf("btb: bad geometry %d sets / %d ways", sets, ways))
+	}
+	b := &BTB{
+		sets:    sets,
+		ways:    ways,
+		entries: make([]Entry, sets*ways),
+		policy:  p,
+	}
+	p.Reset(sets, ways)
+	return b
+}
+
+// Sets returns the number of sets.
+func (b *BTB) Sets() int { return b.sets }
+
+// Ways returns the associativity.
+func (b *BTB) Ways() int { return b.ways }
+
+// Policy returns the replacement policy in use.
+func (b *BTB) Policy() Policy { return b.policy }
+
+// Stats returns a copy of the counters so far.
+func (b *BTB) Stats() Stats { return b.stats }
+
+// ResetStats zeroes the counters without disturbing contents or policy
+// state (used at the end of simulation warmup).
+func (b *BTB) ResetStats() { b.stats = Stats{} }
+
+// SetIndex maps a branch PC to its set: address modulo set count, per §4.2.
+func (b *BTB) SetIndex(pc uint64) int {
+	return int(pc % uint64(b.sets))
+}
+
+// set returns the ways of set s.
+func (b *BTB) set(s int) []Entry {
+	return b.entries[s*b.ways : (s+1)*b.ways]
+}
+
+// Lookup probes the BTB without modifying replacement state or statistics.
+// It returns the stored target and whether the PC is present. The frontend
+// uses it on the speculative path; replacement state is updated at branch
+// resolution via Access.
+func (b *BTB) Lookup(pc uint64) (target uint64, hit bool) {
+	ways := b.set(b.SetIndex(pc))
+	for i := range ways {
+		if ways[i].Valid && ways[i].PC == pc {
+			return ways[i].Target, true
+		}
+	}
+	return 0, false
+}
+
+// Access performs a demand access for a taken branch: probe, update
+// replacement state on a hit, or consult the policy and insert on a miss.
+func (b *BTB) Access(req *Request) Result {
+	b.stats.Accesses++
+	s := b.SetIndex(req.PC)
+	ways := b.set(s)
+	for i := range ways {
+		if ways[i].Valid && ways[i].PC == req.PC {
+			b.stats.Hits++
+			if ways[i].Target != req.Target {
+				ways[i].Target = req.Target
+				b.stats.TargetUpdates++
+			}
+			// Refresh the stored hint: a re-profiled binary may have
+			// changed the branch's category.
+			ways[i].Temperature = req.Temperature
+			b.policy.OnHit(s, i, req)
+			return Result{Hit: true, Way: i}
+		}
+	}
+	b.stats.Misses++
+	// Fill an invalid way if one exists.
+	for i := range ways {
+		if !ways[i].Valid {
+			b.fill(s, i, req)
+			return Result{Way: i}
+		}
+	}
+	v := b.policy.Victim(s, ways, req)
+	if v == Bypass {
+		b.stats.Bypasses++
+		return Result{Bypassed: true, Way: -1}
+	}
+	if v < 0 || v >= b.ways {
+		panic(fmt.Sprintf("btb: policy %s returned invalid victim %d", b.policy.Name(), v))
+	}
+	evicted := ways[v]
+	b.stats.Evictions++
+	b.fill(s, v, req)
+	return Result{Evicted: evicted, Way: v}
+}
+
+func (b *BTB) fill(s, way int, req *Request) {
+	b.set(s)[way] = Entry{
+		Valid:       true,
+		PC:          req.PC,
+		Target:      req.Target,
+		Type:        req.Type,
+		Temperature: req.Temperature,
+	}
+	b.stats.Insertions++
+	b.policy.OnInsert(s, way, req)
+}
+
+// PrefetchFill installs req if absent, consulting the replacement policy
+// for the victim (so prefetch-induced pollution is modelled). It returns
+// whether a fill happened. Prefetches do not touch demand hit/miss
+// counters; fills are visible via Stats().PrefetchFills.
+func (b *BTB) PrefetchFill(req *Request) bool {
+	s := b.SetIndex(req.PC)
+	ways := b.set(s)
+	for i := range ways {
+		if ways[i].Valid && ways[i].PC == req.PC {
+			return false // already present
+		}
+	}
+	for i := range ways {
+		if !ways[i].Valid {
+			b.fill(s, i, req)
+			b.stats.PrefetchFills++
+			return true
+		}
+	}
+	v := b.policy.Victim(s, ways, req)
+	if v == Bypass {
+		return false
+	}
+	if v < 0 || v >= b.ways {
+		panic(fmt.Sprintf("btb: policy %s returned invalid victim %d", b.policy.Name(), v))
+	}
+	b.stats.Evictions++
+	b.fill(s, v, req)
+	b.stats.PrefetchFills++
+	return true
+}
+
+// Contents returns a copy of a set's entries (for tests and debugging).
+func (b *BTB) Contents(set int) []Entry {
+	out := make([]Entry, b.ways)
+	copy(out, b.set(set))
+	return out
+}
+
+// Occupancy returns the fraction of valid entries.
+func (b *BTB) Occupancy() float64 {
+	n := 0
+	for i := range b.entries {
+		if b.entries[i].Valid {
+			n++
+		}
+	}
+	return float64(n) / float64(len(b.entries))
+}

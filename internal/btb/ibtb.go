@@ -1,0 +1,146 @@
+package btb
+
+import "thermometer/internal/xrand"
+
+// IBTB predicts targets of indirect branches (4096 entries in Table 1).
+// It is a tagged, direct-mapped, PC-indexed table with replacement
+// hysteresis: since indirect call sites are strongly monomorphic, the
+// stored target is only replaced after two consecutive mismatches, which
+// keeps the dominant target resident through occasional polymorphic
+// excursions (the same idea as a 2-bit confidence counter in real ITTAGE
+// tables).
+type IBTB struct {
+	entries []ibtbEntry
+	mask    uint64
+
+	Hits   uint64
+	Misses uint64
+}
+
+type ibtbEntry struct {
+	valid  bool
+	tag    uint32
+	target uint64
+	conf   uint8 // saturating 0..3; replacement allowed at 0
+}
+
+// NewIBTB builds an indirect-target buffer with the given number of entries
+// (rounded down to a power of two for cheap masking; Table 1 uses 4096).
+func NewIBTB(entries int) *IBTB {
+	if entries <= 0 {
+		panic("btb: IBTB needs at least one entry")
+	}
+	n := 1
+	for n*2 <= entries {
+		n *= 2
+	}
+	return &IBTB{entries: make([]ibtbEntry, n), mask: uint64(n - 1)}
+}
+
+func (ib *IBTB) index(pc uint64) (idx uint64, tag uint32) {
+	h := xrand.Mix64(pc)
+	return h & ib.mask, uint32(h >> 40)
+}
+
+// Predict returns the predicted target for an indirect branch at pc, if any.
+func (ib *IBTB) Predict(pc uint64) (target uint64, ok bool) {
+	idx, tag := ib.index(pc)
+	e := &ib.entries[idx]
+	if e.valid && e.tag == tag {
+		return e.target, true
+	}
+	return 0, false
+}
+
+// Update records the observed target for the indirect branch at pc. It
+// returns whether the prediction would have been correct (for statistics).
+func (ib *IBTB) Update(pc, target uint64) bool {
+	idx, tag := ib.index(pc)
+	e := &ib.entries[idx]
+	correct := e.valid && e.tag == tag && e.target == target
+	if correct {
+		ib.Hits++
+		if e.conf < 3 {
+			e.conf++
+		}
+		return true
+	}
+	ib.Misses++
+	if e.valid && e.tag == tag {
+		// Same branch, different target: hysteresis before replacing.
+		if e.conf > 0 {
+			e.conf--
+		} else {
+			e.target = target
+			e.conf = 1
+		}
+		return false
+	}
+	// Different branch (or empty slot): contend for the entry.
+	if !e.valid || e.conf == 0 {
+		*e = ibtbEntry{valid: true, tag: tag, target: target, conf: 1}
+	} else {
+		e.conf--
+	}
+	return false
+}
+
+// Accuracy returns the fraction of updates whose prediction was correct.
+func (ib *IBTB) Accuracy() float64 {
+	total := ib.Hits + ib.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(ib.Hits) / float64(total)
+}
+
+// RAS is the return address stack (32 entries in Table 1). Pushes wrap on
+// overflow, silently overwriting the oldest frame — the same graceful
+// degradation hardware exhibits on deep recursion.
+type RAS struct {
+	stack []uint64
+	top   int // number of live frames, capped at len(stack)
+	pos   int // next push slot (circular)
+
+	Pushes     uint64
+	Pops       uint64
+	Overflows  uint64
+	Underflows uint64
+}
+
+// NewRAS builds a return-address stack with the given capacity.
+func NewRAS(capacity int) *RAS {
+	if capacity <= 0 {
+		panic("btb: RAS needs positive capacity")
+	}
+	return &RAS{stack: make([]uint64, capacity)}
+}
+
+// Push records a call's return address.
+func (r *RAS) Push(returnAddr uint64) {
+	r.Pushes++
+	if r.top == len(r.stack) {
+		r.Overflows++
+	} else {
+		r.top++
+	}
+	r.stack[r.pos] = returnAddr
+	r.pos = (r.pos + 1) % len(r.stack)
+}
+
+// Pop predicts the target of a return. ok is false when the stack is empty
+// (the prediction is then unavailable and the frontend must rely on the
+// BTB/IBTB path).
+func (r *RAS) Pop() (addr uint64, ok bool) {
+	r.Pops++
+	if r.top == 0 {
+		r.Underflows++
+		return 0, false
+	}
+	r.top--
+	r.pos = (r.pos - 1 + len(r.stack)) % len(r.stack)
+	return r.stack[r.pos], true
+}
+
+// Depth returns the number of live frames.
+func (r *RAS) Depth() int { return r.top }

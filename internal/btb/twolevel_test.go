@@ -1,0 +1,72 @@
+package btb
+
+import (
+	"testing"
+
+	"thermometer/internal/trace"
+	"thermometer/internal/xrand"
+)
+
+func tlReq(pc uint64) *Request {
+	return &Request{PC: pc, Target: pc + 4, Type: trace.UncondDirect, NextUse: trace.NoNextUse}
+}
+
+func TestTwoLevelPromotion(t *testing.T) {
+	// L1: 1 set × 2 ways; L2: big.
+	tl := NewTwoLevel(2, 2, &naiveLRU{}, 64, 4, &naiveLRU{}, 3)
+	// Fill L1 with A, B.
+	tl.Access(tlReq(1))
+	tl.Access(tlReq(2))
+	// C evicts A (LRU) → A demoted to L2.
+	r := tl.Access(tlReq(3))
+	if r.Hit {
+		t.Fatal("cold access hit")
+	}
+	if tl.Demotions != 1 {
+		t.Fatalf("demotions = %d", tl.Demotions)
+	}
+	// A again: L1 miss, L2 hit → promotion with bubble.
+	r = tl.Access(tlReq(1))
+	if !r.Hit || !r.L2Hit || r.Bubble != 3 {
+		t.Fatalf("promotion result = %+v", r)
+	}
+	if tl.Promotions != 1 {
+		t.Fatalf("promotions = %d", tl.Promotions)
+	}
+	// A now in L1: fast hit.
+	r = tl.Access(tlReq(1))
+	if !r.Hit || r.L2Hit || r.Bubble != 0 {
+		t.Fatalf("post-promotion access = %+v", r)
+	}
+}
+
+func TestTwoLevelTrueMisses(t *testing.T) {
+	tl := NewTwoLevel(2, 2, &naiveLRU{}, 64, 4, &naiveLRU{}, 3)
+	for pc := uint64(1); pc <= 10; pc++ {
+		tl.Access(tlReq(pc))
+	}
+	if got := tl.TrueMisses(); got != 10 {
+		t.Fatalf("true misses = %d, want 10 (all compulsory)", got)
+	}
+}
+
+// TestTwoLevelCapacityBeatsL1Alone: a working set exceeding L1 but fitting
+// L1+L2 should mostly hit (slowly) instead of missing.
+func TestTwoLevelCapacityBeatsL1Alone(t *testing.T) {
+	tl := NewTwoLevel(8, 4, &naiveLRU{}, 256, 4, &naiveLRU{}, 3)
+	small := New(8, 4, &naiveLRU{})
+	r := xrand.New(3)
+	var tlMiss, smallMiss int
+	for i := 0; i < 20000; i++ {
+		pc := uint64(r.Intn(64) + 1) // working set 64 >> L1 8, << L2 256
+		if !tl.Access(tlReq(pc)).Hit {
+			tlMiss++
+		}
+		if !small.Access(tlReq(pc)).Hit {
+			smallMiss++
+		}
+	}
+	if tlMiss*4 > smallMiss {
+		t.Fatalf("two-level misses %d not clearly below L1-only %d", tlMiss, smallMiss)
+	}
+}

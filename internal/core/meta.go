@@ -1,0 +1,77 @@
+package core
+
+import (
+	"sort"
+
+	"thermometer/internal/trace"
+)
+
+// Prefetcher is a BTB prefetcher. Implementations live in package prefetch;
+// the simulator invokes the hooks and supplies an insert callback that runs
+// the fill through the replacement policy (so prefetch-induced pollution is
+// modelled, as in Fig 4).
+type Prefetcher interface {
+	// Name identifies the prefetcher.
+	Name() string
+	// OnLineFill fires when an instruction cache line (64B block address)
+	// is brought in by fetch or FDIP.
+	OnLineFill(blockAddr uint64, insert InsertFunc)
+	// OnBTBAccess fires after each demand BTB access.
+	OnBTBAccess(pc, target uint64, hit bool, insert InsertFunc)
+}
+
+// InsertFunc installs a branch into the BTB as a prefetch (no demand-miss
+// accounting). Implementations receive it from the simulator.
+type InsertFunc func(pc, target uint64, typ trace.BranchType)
+
+// BranchSite is static per-branch metadata the prefetchers index.
+type BranchSite struct {
+	PC     uint64
+	Target uint64 // most recent taken target
+	Type   trace.BranchType
+}
+
+// TraceMeta is static metadata precomputed from a trace: the branch
+// population per 64-byte code block (what Confluence/Shotgun bundle with
+// instruction lines) and per-PC access positions (the oracle that lets the
+// OPT policy price prefetch-inserted entries).
+type TraceMeta struct {
+	// ByBlock maps a 64B block address to the taken-branch sites within.
+	ByBlock map[uint64][]*BranchSite
+	// Positions maps branch PC to its (ascending) access-stream indices.
+	Positions map[uint64][]int
+}
+
+// BuildMeta scans the access stream once.
+func BuildMeta(accesses []trace.Access) *TraceMeta {
+	m := &TraceMeta{
+		ByBlock:   make(map[uint64][]*BranchSite, 1<<12),
+		Positions: make(map[uint64][]int, 1<<12),
+	}
+	sites := make(map[uint64]*BranchSite, 1<<12)
+	for i := range accesses {
+		a := &accesses[i]
+		s := sites[a.PC]
+		if s == nil {
+			s = &BranchSite{PC: a.PC, Target: a.Target, Type: a.Type}
+			sites[a.PC] = s
+			blk := a.PC >> 6
+			m.ByBlock[blk] = append(m.ByBlock[blk], s)
+		}
+		s.Target = a.Target
+		m.Positions[a.PC] = append(m.Positions[a.PC], i)
+	}
+	return m
+}
+
+// NextUseAfter returns the access-stream index of the first access to pc
+// strictly after index i (trace.NoNextUse if none). Prefetch inserts use it
+// so the OPT policy can price them.
+func (m *TraceMeta) NextUseAfter(pc uint64, i int) int {
+	pos := m.Positions[pc]
+	k := sort.SearchInts(pos, i+1)
+	if k == len(pos) {
+		return trace.NoNextUse
+	}
+	return pos[k]
+}

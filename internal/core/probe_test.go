@@ -1,0 +1,29 @@
+package core
+
+import (
+	"testing"
+
+	"thermometer/internal/workload"
+)
+
+func TestStallAttributionProbe(t *testing.T) {
+	for _, name := range []string{"cassandra", "wordpress", "verilator"} {
+		spec, _ := workload.App(name)
+		tr := spec.Generate(0)
+		r := Run(tr, DefaultConfig())
+		total := float64(r.Cycles)
+		issue := total - float64(r.RedirectStall+r.ICacheStall+r.DataStall)
+		t.Logf("%-12s cyc=%d CPI=%.2f issue=%.0f%% redirect=%.0f%% icache=%.0f%% data=%.0f%% | L2iMPKI=%.2f dirMPKI=%.2f btbMPKI=%.2f rasMiss=%d ibtbMiss=%d",
+			name, r.Cycles, total/float64(r.Instructions),
+			100*issue/total, 100*float64(r.RedirectStall)/total,
+			100*float64(r.ICacheStall)/total, 100*float64(r.DataStall)/total,
+			r.L2iMPKI, 1000*float64(r.DirMispredicts)/float64(r.Instructions),
+			r.BTBMPKI(), r.RASMispredicts, r.IBTBMispredicts)
+		t.Logf("%-12s icache stall by level: L2=%d LLC=%d DRAM=%d", name,
+			r.ICacheStallByLevel[1], r.ICacheStallByLevel[2], r.ICacheStallByLevel[3])
+		t.Logf("%-12s instr miss MPKI: L1I=%.2f L2=%.2f LLC=%.2f", name,
+			1000*float64(r.InstrL1Misses)/float64(r.Instructions),
+			1000*float64(r.InstrL2Misses)/float64(r.Instructions),
+			1000*float64(r.InstrLLCMisses)/float64(r.Instructions))
+	}
+}

@@ -1,0 +1,54 @@
+package core
+
+import (
+	"testing"
+
+	"thermometer/internal/btb"
+	"thermometer/internal/policy"
+	"thermometer/internal/profile"
+	"thermometer/internal/workload"
+)
+
+// TestTimingShapeDiagnostics prints the Fig 1 / Fig 2 speedup landscape.
+func TestTimingShapeDiagnostics(t *testing.T) {
+	if testing.Short() {
+		t.Skip("diagnostics only")
+	}
+	var avg [8]float64
+	for _, spec := range workload.Apps() {
+		tr := spec.Generate(0)
+		base := DefaultConfig()
+		lru := Run(tr, base)
+
+		run := func(mut func(*Config)) *Result {
+			cfg := DefaultConfig()
+			mut(&cfg)
+			return Run(tr, cfg)
+		}
+		pBTB := run(func(c *Config) { c.PerfectBTB = true })
+		pBP := run(func(c *Config) { c.PerfectBP = true })
+		pIC := run(func(c *Config) { c.PerfectICache = true })
+		srrip := run(func(c *Config) { c.NewPolicy = func() btb.Policy { return policy.NewSRRIP() } })
+		opt := run(func(c *Config) { c.NewPolicy = func() btb.Policy { return policy.NewOPT() } })
+		ht, _, err := profile.ProfileTrace(tr, base.BTBEntries, base.BTBWays, profile.DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		therm := run(func(c *Config) {
+			c.NewPolicy = func() btb.Policy { return policy.NewThermometer() }
+			c.Hints = ht
+		})
+
+		sp := func(r *Result) float64 { return 100 * Speedup(lru, r) }
+		vals := []float64{sp(pBTB), sp(pBP), sp(pIC), sp(srrip), sp(therm), sp(opt),
+			lru.IPC(), lru.BTBMPKI()}
+		for i, v := range vals {
+			avg[i] += v
+		}
+		t.Logf("%-16s PerfBTB=%6.1f PerfBP=%6.1f PerfIC=%6.1f | SRRIP=%5.2f Therm=%5.2f OPT=%5.2f | IPC=%4.2f MPKI=%5.1f L2iMPKI=%5.2f",
+			spec.Name, vals[0], vals[1], vals[2], vals[3], vals[4], vals[5], vals[6], vals[7], lru.L2iMPKI)
+	}
+	n := float64(len(workload.Apps()))
+	t.Logf("%-16s PerfBTB=%6.1f PerfBP=%6.1f PerfIC=%6.1f | SRRIP=%5.2f Therm=%5.2f OPT=%5.2f | IPC=%4.2f MPKI=%5.1f",
+		"AVG", avg[0]/n, avg[1]/n, avg[2]/n, avg[3]/n, avg[4]/n, avg[5]/n, avg[6]/n, avg[7]/n)
+}

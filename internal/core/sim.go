@@ -1,0 +1,427 @@
+package core
+
+import (
+	"thermometer/internal/bpred"
+	"thermometer/internal/btb"
+	"thermometer/internal/cache"
+	"thermometer/internal/policy"
+	"thermometer/internal/trace"
+	"thermometer/internal/xrand"
+)
+
+// Result reports one timing simulation.
+type Result struct {
+	Name         string
+	Instructions uint64
+	Cycles       uint64
+
+	BTB              btb.Stats
+	PrefetchFills    uint64
+	BTBMissRedirects uint64
+
+	DirLookups      uint64
+	DirMispredicts  uint64
+	RASMispredicts  uint64
+	IBTBMispredicts uint64
+
+	// Stall cycle attribution.
+	RedirectStall uint64
+	ICacheStall   uint64
+	DataStall     uint64
+	// ICacheStall broken down by the worst level a block's lines reached.
+	ICacheStallByLevel [4]uint64
+
+	L2iMPKI float64
+	// Post-warmup instruction miss counts per level.
+	InstrL1Misses, InstrL2Misses, InstrLLCMisses uint64
+
+	// Policy is the replacement policy instance used (for coverage stats).
+	Policy btb.Policy
+}
+
+// IPC returns instructions per cycle.
+func (r *Result) IPC() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(r.Instructions) / float64(r.Cycles)
+}
+
+// BTBMPKI returns demand BTB misses per kilo-instruction.
+func (r *Result) BTBMPKI() float64 {
+	if r.Instructions == 0 {
+		return 0
+	}
+	return float64(r.BTB.Misses) / float64(r.Instructions) * 1000
+}
+
+// Speedup returns the IPC improvement of r over base as a fraction
+// (0.087 = 8.7% faster).
+func Speedup(base, r *Result) float64 {
+	if base.Cycles == 0 || r.Cycles == 0 {
+		return 0
+	}
+	return r.IPC()/base.IPC() - 1
+}
+
+// btbBank routes accesses to one or two BTBs (Shotgun's static partition).
+type btbBank struct {
+	main *btb.BTB
+	cond *btb.BTB // nil unless partitioned
+}
+
+func (bk *btbBank) pick(t trace.BranchType) *btb.BTB {
+	if bk.cond != nil && t.IsConditional() {
+		return bk.cond
+	}
+	return bk.main
+}
+
+func (bk *btbBank) stats() btb.Stats {
+	s := bk.main.Stats()
+	if bk.cond != nil {
+		c := bk.cond.Stats()
+		s.Accesses += c.Accesses
+		s.Hits += c.Hits
+		s.Misses += c.Misses
+		s.Bypasses += c.Bypasses
+		s.Insertions += c.Insertions
+		s.Evictions += c.Evictions
+		s.TargetUpdates += c.TargetUpdates
+		s.PrefetchFills += c.PrefetchFills
+	}
+	return s
+}
+
+// Run simulates the trace under the configuration and returns the result.
+func Run(tr *trace.Trace, cfg Config) *Result {
+	if cfg.FetchWidth <= 0 || cfg.FTQInstrCap <= 0 {
+		panic("core: invalid config")
+	}
+	accesses := tr.AccessStream()
+	var meta *TraceMeta
+	if cfg.Prefetcher != nil {
+		meta = BuildMeta(accesses)
+	}
+
+	res := &Result{Name: tr.Name}
+
+	// Structures.
+	newPolicy := cfg.NewPolicy
+	if newPolicy == nil {
+		newPolicy = func() btb.Policy { return policy.NewLRU() }
+	}
+	bank := &btbBank{}
+	res.Policy = newPolicy()
+	if cfg.ShotgunPartition {
+		// Shotgun statically partitions the BTB by branch type and spends
+		// part of the unconditional partition on spatial-footprint
+		// prefetch metadata (§2.2: it "wastes critical BTB capacity to
+		// store unused prefetch metadata"). Model: 45% U-BTB, 40% C-BTB,
+		// 15% of entries lost to metadata.
+		u := cfg.BTBEntries * 45 / 100
+		c := cfg.BTBEntries * 40 / 100
+		bank.main = btb.New(u, cfg.BTBWays, res.Policy)
+		bank.cond = btb.New(c, cfg.BTBWays, newPolicy())
+	} else if cfg.BTBSets > 0 {
+		bank.main = btb.NewWithSets(cfg.BTBSets, cfg.BTBWays, res.Policy)
+	} else {
+		bank.main = btb.New(cfg.BTBEntries, cfg.BTBWays, res.Policy)
+	}
+	var twoLevel *btb.TwoLevel
+	if tl := cfg.TwoLevelBTB; tl != nil {
+		twoLevel = btb.NewTwoLevel(tl.L1Entries, tl.L1Ways, res.Policy,
+			tl.L2Entries, tl.L2Ways, newPolicy(), tl.BubbleCycles)
+	}
+	ibtb := btb.NewIBTB(cfg.IBTBEntries)
+	ras := btb.NewRAS(cfg.RASEntries)
+	hier := cache.NewHierarchy()
+	hier.Lat = cfg.Latencies
+
+	var pred bpred.Predictor
+	if !cfg.PerfectBP {
+		if cfg.NewPredictor != nil {
+			pred = cfg.NewPredictor()
+		} else {
+			pred = bpred.NewTAGE()
+		}
+	}
+
+	// FDIP lead: cycles by which FDIP's prefetch of the next block
+	// precedes fetch's demand for it. Squashes reset it. Tracked in
+	// half-cycles: the BPU produces up to two block predictions per cycle
+	// (as in ChampSim's FDIP model), so while fetch consumes roughly one
+	// block per cycle the frontend gains ~half a cycle of lead per block,
+	// plus everything fetch spends stalled.
+	//
+	// The lead is capped by the FTQ: a full FTQ holds FTQInstrCap
+	// instructions, which cover FTQInstrCap×CPI cycles of fetch time — the
+	// slower the machine runs, the further (in cycles) a fixed FTQ lets
+	// FDIP reach ahead. The cap therefore tracks running CPI.
+	minLeadCapH := 2 * uint64(cfg.FTQInstrCap/cfg.FetchWidth)
+	maxLeadCapH := 8 * uint64(cfg.FTQInstrCap)
+	leadH := uint64(0)
+	leadCapH := func(cycles, instrs uint64) uint64 {
+		if instrs == 0 {
+			return minLeadCapH
+		}
+		c := 2 * uint64(cfg.FTQInstrCap) * cycles / instrs
+		if c < minLeadCapH {
+			return minLeadCapH
+		}
+		if c > maxLeadCapH {
+			return maxLeadCapH
+		}
+		return c
+	}
+
+	// Prefetch insert callback (closes over the running access index).
+	// Fills are delayed by PrefetchDelay demand accesses to model the fill
+	// pipeline relative to the run-ahead BPU.
+	curIdx := 0
+	type pendingFill struct {
+		avail  int
+		pc     uint64
+		target uint64
+		typ    trace.BranchType
+	}
+	var pending []pendingFill
+	applyFill := func(pf pendingFill) {
+		b := bank.pick(pf.typ)
+		req := btb.Request{
+			PC: pf.pc, Target: pf.target, Type: pf.typ,
+			Prefetch: true, NextUse: trace.NoNextUse, Index: curIdx,
+		}
+		if meta != nil {
+			req.NextUse = meta.NextUseAfter(pf.pc, curIdx)
+		}
+		if cfg.Hints != nil {
+			req.Temperature = cfg.Hints.Lookup(pf.pc)
+		}
+		if b.PrefetchFill(&req) {
+			res.PrefetchFills++
+		}
+	}
+	insert := func(pc, target uint64, typ trace.BranchType) {
+		pending = append(pending, pendingFill{avail: curIdx + cfg.PrefetchDelay, pc: pc, target: target, typ: typ})
+	}
+	drainFills := func() {
+		n := 0
+		for _, pf := range pending {
+			if pf.avail <= curIdx {
+				applyFill(pf)
+			} else {
+				pending[n] = pf
+				n++
+			}
+		}
+		pending = pending[:n]
+	}
+	touchLine := func(blk uint64) {
+		if cfg.Prefetcher != nil {
+			cfg.Prefetcher.OnLineFill(blk, insert)
+		}
+	}
+
+	loadRNG := xrand.New(0xDA7A ^ uint64(len(tr.Records)))
+	width := uint64(cfg.FetchWidth)
+
+	recs := tr.Records
+	warmupEnd := int(cfg.WarmupFrac * float64(len(recs)))
+	for i := range recs {
+		if i == warmupEnd {
+			// End of warmup: all structures stay trained, statistics and
+			// the clock restart.
+			saved := *res
+			*res = Result{Name: saved.Name, Policy: saved.Policy}
+			hier.InstrFetches, hier.InstrL1Misses, hier.InstrL2Misses, hier.InstrLLCMisses = 0, 0, 0, 0
+			bank.main.ResetStats()
+			if bank.cond != nil {
+				bank.cond.ResetStats()
+			}
+			if twoLevel != nil {
+				twoLevel.L1.ResetStats()
+				twoLevel.L2.ResetStats()
+				twoLevel.Promotions, twoLevel.Demotions, twoLevel.L2Bubbles = 0, 0, 0
+			}
+			ras.Pushes, ras.Pops, ras.Overflows, ras.Underflows = 0, 0, 0, 0
+			ibtb.Hits, ibtb.Misses = 0, 0
+		}
+		r := &recs[i]
+		n := uint64(r.BlockLen) + 1 // block + the branch itself
+		res.Instructions += n
+
+		// --- Direction prediction (conditionals). ---
+		dirMiss := false
+		if r.Type.IsConditional() && !cfg.PerfectBP {
+			res.DirLookups++
+			if pred.Predict(r.PC) != r.Taken {
+				dirMiss = true
+				res.DirMispredicts++
+			}
+			pred.Update(r.PC, r.Taken)
+		}
+
+		// --- BTB / IBTB / RAS for taken branches. ---
+		btbMiss := false
+		targetMiss := false
+		var btbBubble uint64
+		if r.Taken {
+			switch r.Type {
+			case trace.Call:
+				ras.Push(r.PC + 5)
+			case trace.IndirectCall:
+				ras.Push(r.PC + 6)
+			case trace.Return:
+				if addr, ok := ras.Pop(); !ok || addr != r.Target {
+					targetMiss = true
+					res.RASMispredicts++
+				}
+			}
+			if r.Type == trace.IndirectJump || r.Type == trace.IndirectCall {
+				if !ibtb.Update(r.PC, r.Target) {
+					targetMiss = true
+					res.IBTBMispredicts++
+				}
+			}
+			if !cfg.PerfectBTB {
+				if cfg.Prefetcher != nil {
+					drainFills()
+				}
+				req := btb.Request{
+					PC: r.PC, Target: r.Target, Type: r.Type,
+					NextUse: accesses[curIdx].NextUse, Index: curIdx,
+				}
+				if cfg.Hints != nil {
+					req.Temperature = cfg.Hints.Lookup(r.PC)
+				}
+				hit := false
+				if twoLevel != nil {
+					tr2 := twoLevel.Access(&req)
+					hit = tr2.Hit
+					btbBubble = uint64(tr2.Bubble)
+				} else {
+					ar := bank.pick(r.Type).Access(&req)
+					hit = ar.Hit
+				}
+				btbMiss = !hit
+				if cfg.Prefetcher != nil {
+					cfg.Prefetcher.OnBTBAccess(r.PC, r.Target, hit, insert)
+				}
+			}
+			curIdx++
+		}
+
+		// --- Redirect penalty. ---
+		penalty := 0
+		if dirMiss {
+			penalty = cfg.ExecRedirectPenalty
+		}
+		if btbMiss {
+			res.BTBMissRedirects++
+			// Unconditional direct branches and calls are exposed at
+			// decode. A conditional taken branch with no BTB entry sends
+			// the frontend down the (plausible) fall-through path, so the
+			// miss is only discovered when the branch executes; indirect
+			// targets likewise resolve at execute.
+			p := cfg.ExecRedirectPenalty
+			if r.Type == trace.UncondDirect || r.Type == trace.Call || r.Type == trace.Return {
+				p = cfg.DecodeRedirectPenalty
+			}
+			if p > penalty {
+				penalty = p
+			}
+		}
+		if targetMiss && cfg.ExecRedirectPenalty > penalty {
+			penalty = cfg.ExecRedirectPenalty
+		}
+		if penalty > 0 {
+			res.RedirectStall += uint64(penalty)
+			// FTQ squash: FDIP loses its accumulated run-ahead. The BPU
+			// restarts on the corrected path at resolution, so the
+			// pipeline-refill bubble itself becomes the new head start —
+			// the target block's instruction fetch overlaps the redirect
+			// penalty rather than serializing behind it.
+			leadH = 2 * uint64(penalty)
+		}
+
+		// --- Instruction fetch for the block following this branch. ---
+		var stall uint64
+		if !cfg.PerfectICache {
+			start := r.PC + 4
+			if r.Taken {
+				start = r.Target
+			}
+			span := 4 * n
+			first, last := start>>6, (start+span)>>6
+			if last-first > 7 {
+				last = first + 7
+			}
+			var worst int
+			worstLvl := cache.L1
+			for blk := first; blk <= last; blk++ {
+				lvl, lat := hier.FetchInstr(blk << 6)
+				touchLine(blk)
+				if lat > worst {
+					worst = lat
+					worstLvl = lvl
+				}
+			}
+			if lead := leadH / 2; uint64(worst) > lead {
+				stall = uint64(worst) - lead
+				res.ICacheStall += stall
+				res.ICacheStallByLevel[worstLvl] += stall
+			}
+		}
+
+		// --- Backend data stalls. ---
+		var dataStall uint64
+		if cfg.DataStalls {
+			loads := int(n) / 6
+			for j := 0; j < loads; j++ {
+				roll := loadRNG.Float64()
+				var addr uint64
+				switch {
+				case roll < 0.85: // stack/top-of-heap working set
+					addr = loadRNG.Uint64n(16 << 10)
+				case roll < 0.99: // mid-size structures
+					addr = (1 << 20) + loadRNG.Uint64n(128<<10)
+				default: // big-data footprint
+					addr = (8 << 20) + loadRNG.Uint64n(cfg.DataFootprint)
+				}
+				_, lat := hier.LoadData(addr)
+				if lat > 0 && cfg.MLP > 0 {
+					dataStall += uint64(lat / cfg.MLP)
+				}
+			}
+			res.DataStall += dataStall
+		}
+
+		// --- Advance the clock. ---
+		issue := (n + width - 1) / width
+		res.Cycles += issue + uint64(penalty) + stall + dataStall + btbBubble
+		res.RedirectStall += btbBubble
+
+		// The decoupled BPU runs ahead while fetch issues and stalls; half
+		// a cycle is consumed producing this block's prediction. (The
+		// redirect penalty is already accounted as the post-squash head
+		// start above.)
+		leadH += 2*(issue+stall+dataStall) - 1
+		if cap := leadCapH(res.Cycles, res.Instructions); leadH > cap {
+			leadH = cap
+		}
+	}
+
+	res.BTB = bank.stats()
+	if twoLevel != nil {
+		l1, _ := twoLevel.Stats()
+		res.BTB = l1
+		res.BTB.Hits = l1.Hits + twoLevel.Promotions
+		res.BTB.Misses = twoLevel.TrueMisses()
+	}
+	res.L2iMPKI = hier.L2iMPKI(res.Instructions)
+	res.InstrL1Misses = hier.InstrL1Misses
+	res.InstrL2Misses = hier.InstrL2Misses
+	res.InstrLLCMisses = hier.InstrLLCMisses
+	return res
+}

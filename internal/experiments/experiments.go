@@ -1,0 +1,270 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation. Each FigNN function returns one or more Tables whose rows are
+// the series the paper plots; cmd/paperfigs renders them and bench_test.go
+// wraps them in benchmarks.
+//
+// All experiments accept a Context, which fixes the trace scale (full-length
+// traces for the record, shorter ones for quick runs) and caches generated
+// traces and profiles across experiments.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+
+	"thermometer/internal/belady"
+	"thermometer/internal/btb"
+	"thermometer/internal/core"
+	"thermometer/internal/policy"
+	"thermometer/internal/profile"
+	"thermometer/internal/trace"
+	"thermometer/internal/workload"
+)
+
+// Table is a rendered experiment result.
+type Table struct {
+	ID     string
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// AddRow appends a formatted row.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// Render writes the table as aligned text.
+func (t *Table) Render(w io.Writer) {
+	fmt.Fprintf(w, "== %s: %s ==\n", t.ID, t.Title)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			if i < len(widths) {
+				parts[i] = fmt.Sprintf("%-*s", widths[i], c)
+			} else {
+				parts[i] = c
+			}
+		}
+		fmt.Fprintln(w, strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	line(t.Header)
+	line(dashes(widths))
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "note: %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+func dashes(widths []int) []string {
+	out := make([]string, len(widths))
+	for i, w := range widths {
+		out[i] = strings.Repeat("-", w)
+	}
+	return out
+}
+
+// Context carries experiment configuration and caches.
+type Context struct {
+	// Scale divides every trace length (1 = the full 400K-record traces
+	// used for recorded results).
+	Scale int
+	// CBP5Traces / IPC1Traces bound the suite sizes (0 = full suites).
+	CBP5Traces int
+	IPC1Traces int
+
+	mu     sync.Mutex
+	traces map[string]*trace.Trace
+	hints  map[string]*profile.HintTable
+}
+
+// NewContext returns a context at the given scale.
+func NewContext(scale int) *Context {
+	if scale < 1 {
+		scale = 1
+	}
+	return &Context{
+		Scale:  scale,
+		traces: make(map[string]*trace.Trace),
+		hints:  make(map[string]*profile.HintTable),
+	}
+}
+
+// AppTrace returns (and caches) the trace for an application input.
+func (c *Context) AppTrace(name string, input int) *trace.Trace {
+	key := fmt.Sprintf("%s#%d", name, input)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if tr, ok := c.traces[key]; ok {
+		return tr
+	}
+	spec, ok := workload.App(name)
+	if !ok {
+		panic("experiments: unknown app " + name)
+	}
+	tr := spec.ScaleLength(1, c.Scale).Generate(input)
+	c.traces[key] = tr
+	return tr
+}
+
+// Hints returns (and caches) the Thermometer hint table for an app input
+// under the given geometry and profile configuration.
+func (c *Context) Hints(name string, input, entries, ways int, cfg profile.Config) *profile.HintTable {
+	key := fmt.Sprintf("%s#%d@%dx%d:%v:%d", name, input, entries, ways, cfg.Thresholds, cfg.DefaultCategory)
+	c.mu.Lock()
+	if ht, ok := c.hints[key]; ok {
+		c.mu.Unlock()
+		return ht
+	}
+	c.mu.Unlock()
+	tr := c.AppTrace(name, input)
+	ht, _, err := profile.ProfileTrace(tr, entries, ways, cfg)
+	if err != nil {
+		panic(err)
+	}
+	c.mu.Lock()
+	c.hints[key] = ht
+	c.mu.Unlock()
+	return ht
+}
+
+// cbp5Count returns the number of CBP-5 traces to run.
+func (c *Context) cbp5Count() int {
+	if c.CBP5Traces > 0 && c.CBP5Traces < workload.CBP5Count {
+		return c.CBP5Traces
+	}
+	return workload.CBP5Count
+}
+
+func (c *Context) ipc1Count() int {
+	if c.IPC1Traces > 0 && c.IPC1Traces < workload.IPC1Count {
+		return c.IPC1Traces
+	}
+	return workload.IPC1Count
+}
+
+// --- shared policy roster ---
+
+// policyFactories returns the comparison policies of Figs 1/11/12.
+func policyFactories() []struct {
+	Name string
+	New  func() btb.Policy
+} {
+	return []struct {
+		Name string
+		New  func() btb.Policy
+	}{
+		{"SRRIP", func() btb.Policy { return policy.NewSRRIP() }},
+		{"GHRP", func() btb.Policy { return policy.NewGHRP() }},
+		{"Hawkeye", func() btb.Policy { return policy.NewHawkeye() }},
+	}
+}
+
+// runPolicy is a helper running the timing simulator with a policy factory
+// and optional hints.
+func runPolicy(tr *trace.Trace, newPolicy func() btb.Policy, hints *profile.HintTable, mut func(*core.Config)) *core.Result {
+	cfg := core.DefaultConfig()
+	cfg.NewPolicy = newPolicy
+	cfg.Hints = hints
+	if mut != nil {
+		mut(&cfg)
+	}
+	return core.Run(tr, cfg)
+}
+
+// pct formats a fraction as a percentage.
+func pct(f float64) string { return fmt.Sprintf("%.2f", 100*f) }
+
+// f2 formats with two decimals.
+func f2(f float64) string { return fmt.Sprintf("%.2f", f) }
+
+// Registry maps experiment IDs to their functions.
+var Registry = map[string]func(*Context) []*Table{
+	"table1": TableOne,
+	"fig1":   Fig1,
+	"fig2":   Fig2,
+	"fig3":   Fig3,
+	"fig4":   Fig4,
+	"fig5":   Fig5,
+	"fig6":   Fig6,
+	"fig7":   Fig7,
+	"fig8":   Fig8,
+	"fig9":   Fig9,
+	"fig11":  Fig11,
+	"fig12":  Fig12,
+	"fig13":  Fig13,
+	"fig14":  Fig14,
+	"fig15":  Fig15,
+	"fig16":  Fig16,
+	"fig17":  Fig17,
+	"fig18":  Fig18,
+	"fig19":  Fig19,
+	"fig20":  Fig20,
+	"fig21":  Fig21,
+}
+
+// IDs returns the registered experiment IDs in a stable order.
+func IDs() []string {
+	out := make([]string, 0, len(Registry))
+	for id := range Registry {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		// table1 first, then figN numerically, then extras alphabetically.
+		num := func(s string) int {
+			if s == "table1" {
+				return -1
+			}
+			var n int
+			if _, err := fmt.Sscanf(s, "fig%d", &n); err != nil {
+				return 1 << 20 // non-figure extras (e.g. ablations) last
+			}
+			return n
+		}
+		ni, nj := num(out[i]), num(out[j])
+		if ni != nj {
+			return ni < nj
+		}
+		return out[i] < out[j]
+	})
+	return out
+}
+
+// TableOne prints the simulation parameters (Table 1).
+func TableOne(*Context) []*Table {
+	t := &Table{ID: "table1", Title: "Simulation parameters", Header: []string{"Parameter", "Value"}}
+	for _, row := range core.Table1(core.DefaultConfig()) {
+		t.AddRow(row[0], row[1])
+	}
+	return []*Table{t}
+}
+
+// optSpeedup computes the OPT policy's speedup over LRU for a trace
+// (shared by several figures).
+func optSpeedup(tr *trace.Trace) (lru, opt *core.Result, speedup float64) {
+	lru = runPolicy(tr, nil, nil, nil)
+	opt = runPolicy(tr, func() btb.Policy { return policy.NewOPT() }, nil, nil)
+	return lru, opt, core.Speedup(lru, opt)
+}
+
+// beladyResult profiles a trace under the default geometry.
+func beladyResult(tr *trace.Trace) *belady.Result {
+	cfg := core.DefaultConfig()
+	return belady.Profile(tr.AccessStream(), cfg.BTBEntries, cfg.BTBWays)
+}

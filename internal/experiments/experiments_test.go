@@ -1,0 +1,255 @@
+package experiments
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+
+	"thermometer/internal/profile"
+)
+
+// quickCtx returns a context small enough for unit tests.
+func quickCtx() *Context {
+	c := NewContext(4) // 100K-record traces
+	c.CBP5Traces = 6
+	c.IPC1Traces = 3
+	return c
+}
+
+func parsePct(t *testing.T, s string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+	if err != nil {
+		t.Fatalf("parse %q: %v", s, err)
+	}
+	return v
+}
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{"table1", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6",
+		"fig7", "fig8", "fig9", "fig11", "fig12", "fig13", "fig14", "fig15",
+		"fig16", "fig17", "fig18", "fig19", "fig20", "fig21", "ablations", "twolevel"}
+	if len(Registry) != len(want) {
+		t.Fatalf("registry has %d entries, want %d", len(Registry), len(want))
+	}
+	for _, id := range want {
+		if Registry[id] == nil {
+			t.Errorf("missing experiment %s", id)
+		}
+	}
+	ids := IDs()
+	if ids[0] != "table1" || ids[1] != "fig1" || ids[len(ids)-1] != "twolevel" {
+		t.Fatalf("IDs order wrong: %v", ids)
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tab := &Table{ID: "x", Title: "T", Header: []string{"a", "bb"}, Notes: []string{"n"}}
+	tab.AddRow("1", "2")
+	var buf bytes.Buffer
+	tab.Render(&buf)
+	out := buf.String()
+	for _, want := range []string{"== x: T ==", "a", "bb", "1", "note: n"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q in %q", want, out)
+		}
+	}
+}
+
+func TestTableOne(t *testing.T) {
+	tabs := TableOne(quickCtx())
+	if len(tabs) != 1 || len(tabs[0].Rows) != 3 {
+		t.Fatalf("table1 = %+v", tabs)
+	}
+}
+
+func TestContextCaching(t *testing.T) {
+	c := quickCtx()
+	a := c.AppTrace("kafka", 0)
+	b := c.AppTrace("kafka", 0)
+	if a != b {
+		t.Fatal("trace not cached")
+	}
+	h1 := c.Hints("kafka", 0, 8192, 4, profile.DefaultConfig())
+	h2 := c.Hints("kafka", 0, 8192, 4, profile.DefaultConfig())
+	if h1 != h2 {
+		t.Fatal("hints not cached")
+	}
+}
+
+func TestFig1Shape(t *testing.T) {
+	tabs := Fig1(quickCtx())
+	tab := tabs[0]
+	if len(tab.Rows) != 14 { // 13 apps + Avg
+		t.Fatalf("fig1 rows = %d", len(tab.Rows))
+	}
+	avg := tab.Rows[13]
+	if avg[0] != "Avg" {
+		t.Fatal("no Avg row")
+	}
+	srrip, opt := parsePct(t, avg[1]), parsePct(t, avg[4])
+	if opt <= srrip {
+		t.Fatalf("OPT avg %v <= SRRIP avg %v", opt, srrip)
+	}
+	if opt <= 1 {
+		t.Fatalf("OPT avg %v implausibly small", opt)
+	}
+}
+
+func TestFig2Ordering(t *testing.T) {
+	tabs := Fig2(quickCtx())
+	avg := tabs[0].Rows[len(tabs[0].Rows)-1]
+	btb, bp, ic := parsePct(t, avg[1]), parsePct(t, avg[2]), parsePct(t, avg[3])
+	if btb <= ic {
+		t.Fatalf("Perfect-BTB %v <= Perfect-IC %v (paper ordering violated)", btb, ic)
+	}
+	if btb <= bp {
+		t.Fatalf("Perfect-BTB %v <= Perfect-BP %v", btb, bp)
+	}
+}
+
+func TestFig3VerilatorOutlier(t *testing.T) {
+	tabs := Fig3(quickCtx())
+	vals := map[string]float64{}
+	for _, row := range tabs[0].Rows {
+		vals[row[0]] = parsePct(t, row[1]) // plain MPKI column
+	}
+	if vals["verilator"] < 4*vals["cassandra"] {
+		t.Fatalf("verilator L2iMPKI %v not an outlier vs cassandra %v",
+			vals["verilator"], vals["cassandra"])
+	}
+}
+
+func TestFig5TransientLarger(t *testing.T) {
+	tabs := Fig5(quickCtx())
+	avg := tabs[0].Rows[len(tabs[0].Rows)-1]
+	ratio := parsePct(t, avg[3]) // plain ratio column
+	if ratio < 1.2 {
+		t.Fatalf("avg variance ratio %v < 1.2", ratio)
+	}
+}
+
+func TestFig6Monotone(t *testing.T) {
+	tabs := Fig6(quickCtx())
+	rows := tabs[0].Rows
+	prev := 101.0
+	for _, row := range rows {
+		v := parsePct(t, row[1]) // drupal column (f2 of fraction*100... check)
+		if v > prev+1e-9 {
+			t.Fatalf("hit-to-taken not descending: %v after %v", v, prev)
+		}
+		prev = v
+	}
+}
+
+func TestFig9HotInserted(t *testing.T) {
+	tabs := Fig9(quickCtx())
+	avg := tabs[0].Rows[len(tabs[0].Rows)-1]
+	cold, hot := parsePct(t, avg[1]), parsePct(t, avg[3])
+	if cold <= hot {
+		t.Fatalf("cold bypass %v <= hot bypass %v", cold, hot)
+	}
+}
+
+func TestFig11ThermometerBetween(t *testing.T) {
+	tabs := Fig11(quickCtx())
+	avg := tabs[0].Rows[len(tabs[0].Rows)-1]
+	srrip := parsePct(t, avg[1])
+	therm := parsePct(t, avg[4])
+	opt := parsePct(t, avg[6])
+	if !(srrip < therm && therm < opt) {
+		t.Fatalf("ordering violated: SRRIP %v, Therm %v, OPT %v", srrip, therm, opt)
+	}
+	if therm/opt < 0.3 {
+		t.Fatalf("Thermometer fraction of OPT %v too small", therm/opt)
+	}
+}
+
+func TestFig12MissReductions(t *testing.T) {
+	tabs := Fig12(quickCtx())
+	avg := tabs[0].Rows[len(tabs[0].Rows)-1]
+	therm, opt := parsePct(t, avg[4]), parsePct(t, avg[5])
+	if therm <= 0 || opt <= therm {
+		t.Fatalf("miss reductions wrong: therm %v opt %v", therm, opt)
+	}
+}
+
+func TestFig16AccuracyOrdering(t *testing.T) {
+	tabs := Fig16(quickCtx())
+	avg := tabs[0].Rows[len(tabs[0].Rows)-1]
+	tr, ho, th := parsePct(t, avg[1]), parsePct(t, avg[2]), parsePct(t, avg[3])
+	if !(tr < th && ho <= th+5) {
+		t.Fatalf("accuracy ordering unexpected: transient %v holistic %v therm %v", tr, ho, th)
+	}
+}
+
+func TestFig17RunsSubset(t *testing.T) {
+	c := quickCtx()
+	tabs := Fig17(c)
+	if len(tabs[0].Rows) < 8 {
+		t.Fatalf("fig17 rows = %d", len(tabs[0].Rows))
+	}
+}
+
+func TestFig18RunsSubset(t *testing.T) {
+	tabs := Fig18(quickCtx())
+	if len(tabs[0].Rows) < 2 {
+		t.Fatalf("fig18 rows = %d", len(tabs[0].Rows))
+	}
+}
+
+func TestCrossValidateThresholdsValid(t *testing.T) {
+	c := quickCtx()
+	tr := c.AppTrace("python", 0)
+	cfg, err := profile.CrossValidateThresholds(tr.AccessStream(), 1024, 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("cross-validated config invalid: %v", err)
+	}
+}
+
+// TestRemainingExperimentsSmoke runs the heavyweight experiments at a tiny
+// scale, checking structure only (values are validated at full scale by
+// cmd/paperfigs and the figure-specific tests above).
+func TestRemainingExperimentsSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow smoke test")
+	}
+	c := NewContext(16)
+	c.CBP5Traces = 2
+	c.IPC1Traces = 2
+	cases := map[string]int{ // id -> minimum total rows
+		"fig4":      14,
+		"fig6":      11,
+		"fig7":      11,
+		"fig8":      13,
+		"fig13":     10,
+		"fig14":     14,
+		"fig19":     12,
+		"fig20":     9,
+		"fig21":     14,
+		"ablations": 5,
+		"twolevel":  5,
+	}
+	for id, minRows := range cases {
+		tables := Registry[id](c)
+		rows := 0
+		for _, tab := range tables {
+			rows += len(tab.Rows)
+			if len(tab.Header) < 2 {
+				t.Errorf("%s: header too small", id)
+			}
+			for _, r := range tab.Rows {
+				if len(r) != len(tab.Header) {
+					t.Errorf("%s: ragged row %v", id, r)
+				}
+			}
+		}
+		if rows < minRows {
+			t.Errorf("%s: %d rows, want >= %d", id, rows, minRows)
+		}
+	}
+}

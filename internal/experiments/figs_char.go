@@ -1,0 +1,315 @@
+package experiments
+
+import (
+	"fmt"
+
+	"thermometer/internal/btb"
+	"thermometer/internal/core"
+	"thermometer/internal/metrics"
+	"thermometer/internal/policy"
+	"thermometer/internal/prefetch"
+	"thermometer/internal/profile"
+	"thermometer/internal/workload"
+)
+
+// Fig1 — speedup of state-of-the-art BTB replacement policies (and OPT)
+// over the LRU baseline, per application.
+func Fig1(c *Context) []*Table {
+	t := &Table{
+		ID:     "fig1",
+		Title:  "Speedup (%) of SRRIP/GHRP/Hawkeye/OPT over LRU (with FDIP)",
+		Header: []string{"app", "SRRIP", "GHRP", "Hawkeye", "OPT"},
+	}
+	sums := make([]float64, 4)
+	for _, app := range workload.AppNames() {
+		tr := c.AppTrace(app, 0)
+		lru := runPolicy(tr, nil, nil, nil)
+		row := []string{app}
+		for i, pf := range policyFactories() {
+			r := runPolicy(tr, pf.New, nil, nil)
+			sp := core.Speedup(lru, r)
+			sums[i] += sp
+			row = append(row, pct(sp))
+		}
+		opt := runPolicy(tr, func() btb.Policy { return policy.NewOPT() }, nil, nil)
+		sp := core.Speedup(lru, opt)
+		sums[3] += sp
+		row = append(row, pct(sp))
+		t.AddRow(row...)
+	}
+	n := float64(len(workload.AppNames()))
+	t.AddRow("Avg", pct(sums[0]/n), pct(sums[1]/n), pct(sums[2]/n), pct(sums[3]/n))
+	t.Notes = append(t.Notes, "paper: prior policies avg 1.5%, OPT avg 10.4%")
+	return []*Table{t}
+}
+
+// Fig2 — limit study: perfect BTB vs perfect direction prediction vs
+// perfect I-cache.
+func Fig2(c *Context) []*Table {
+	t := &Table{
+		ID:     "fig2",
+		Title:  "Limit study speedup (%) over the realistic baseline",
+		Header: []string{"app", "Perfect-BTB", "Perfect-BP", "Perfect-I-Cache"},
+	}
+	var sums [3]float64
+	for _, app := range workload.AppNames() {
+		tr := c.AppTrace(app, 0)
+		base := runPolicy(tr, nil, nil, nil)
+		vals := make([]string, 0, 3)
+		for i, mut := range []func(*core.Config){
+			func(cfg *core.Config) { cfg.PerfectBTB = true },
+			func(cfg *core.Config) { cfg.PerfectBP = true },
+			func(cfg *core.Config) { cfg.PerfectICache = true },
+		} {
+			r := runPolicy(tr, nil, nil, mut)
+			sp := core.Speedup(base, r)
+			sums[i] += sp
+			vals = append(vals, pct(sp))
+		}
+		t.AddRow(append([]string{app}, vals...)...)
+	}
+	n := float64(len(workload.AppNames()))
+	t.AddRow("Avg", pct(sums[0]/n), pct(sums[1]/n), pct(sums[2]/n))
+	t.Notes = append(t.Notes, "paper: perfect BTB 63.2%, perfect BP 11.3%, perfect I-cache 21.5%")
+	return []*Table{t}
+}
+
+// Fig3 — L2 instruction misses per kilo-instruction per application.
+func Fig3(c *Context) []*Table {
+	t := &Table{
+		ID:     "fig3",
+		Title:  "L2 instruction MPKI (verilator is the outlier)",
+		Header: []string{"app", "L2iMPKI"},
+	}
+	for _, app := range workload.AppNames() {
+		tr := c.AppTrace(app, 0)
+		r := runPolicy(tr, nil, nil, nil)
+		t.AddRow(app, f2(r.L2iMPKI))
+	}
+	t.Notes = append(t.Notes, "paper: verilator >= 300x the others (42 vs 0.01-1)")
+	return []*Table{t}
+}
+
+// Fig4 — BTB prefetching (Confluence/Shotgun) with LRU and OPT replacement
+// vs the perfect BTB.
+func Fig4(c *Context) []*Table {
+	t := &Table{
+		ID:    "fig4",
+		Title: "Speedup (%) of BTB prefetchers and OPT over LRU (no prefetch)",
+		Header: []string{"app", "Confluence-LRU", "Shotgun-LRU", "OPT",
+			"Confluence-OPT", "Shotgun-OPT", "Perfect-BTB"},
+	}
+	var sums [6]float64
+	optNew := func() btb.Policy { return policy.NewOPT() }
+	for _, app := range workload.AppNames() {
+		tr := c.AppTrace(app, 0)
+		meta := core.BuildMeta(tr.AccessStream())
+		base := runPolicy(tr, nil, nil, nil)
+		sp := func(r *core.Result) float64 { return core.Speedup(base, r) }
+
+		confLRU := runPolicy(tr, nil, nil, func(cfg *core.Config) {
+			cfg.Prefetcher = prefetch.NewConfluence(meta)
+		})
+		shotLRU := runPolicy(tr, nil, nil, func(cfg *core.Config) {
+			cfg.Prefetcher = prefetch.NewShotgun(meta)
+			cfg.ShotgunPartition = true
+		})
+		opt := runPolicy(tr, optNew, nil, nil)
+		confOPT := runPolicy(tr, optNew, nil, func(cfg *core.Config) {
+			cfg.Prefetcher = prefetch.NewConfluence(meta)
+		})
+		shotOPT := runPolicy(tr, optNew, nil, func(cfg *core.Config) {
+			cfg.Prefetcher = prefetch.NewShotgun(meta)
+			cfg.ShotgunPartition = true
+		})
+		perf := runPolicy(tr, nil, nil, func(cfg *core.Config) { cfg.PerfectBTB = true })
+
+		vals := []float64{sp(confLRU), sp(shotLRU), sp(opt), sp(confOPT), sp(shotOPT), sp(perf)}
+		row := []string{app}
+		for i, v := range vals {
+			sums[i] += v
+			row = append(row, pct(v))
+		}
+		t.AddRow(row...)
+	}
+	n := float64(len(workload.AppNames()))
+	avg := []string{"Avg"}
+	for _, s := range sums {
+		avg = append(avg, pct(s/n))
+	}
+	t.AddRow(avg...)
+	t.Notes = append(t.Notes,
+		"paper: Confluence-LRU 1.4% mean, Shotgun-LRU slight slowdown, OPT 10.4%, Perfect-BTB 63.2%")
+	return []*Table{t}
+}
+
+// Fig5 — average transient vs holistic reuse-distance variance.
+func Fig5(c *Context) []*Table {
+	t := &Table{
+		ID:     "fig5",
+		Title:  "Transient vs holistic reuse-distance variance (normalized)",
+		Header: []string{"app", "transient", "holistic", "ratio"},
+	}
+	cfg := core.DefaultConfig()
+	sets := cfg.BTBEntries / cfg.BTBWays
+	var st, sh float64
+	for _, app := range workload.AppNames() {
+		tr := c.AppTrace(app, 0)
+		v := metrics.SummarizeVariance(tr.AccessStream(), sets, 4)
+		st += v.Transient
+		sh += v.Holistic
+		t.AddRow(app, f2(v.Transient), f2(v.Holistic), f2(v.Ratio()))
+	}
+	n := float64(len(workload.AppNames()))
+	ratio := 0.0
+	if sh > 0 {
+		ratio = st / sh
+	}
+	t.AddRow("Avg", f2(st/n), f2(sh/n), f2(ratio))
+	t.Notes = append(t.Notes, "paper: transient variance more than 2x holistic")
+	return []*Table{t}
+}
+
+// fig67Apps are the applications the paper plots in Figs 6 and 7.
+var fig67Apps = []string{"drupal", "kafka", "verilator"}
+
+// Fig6 — distribution of hit-to-taken percentage under OPT, by decile of
+// unique taken branches (sorted descending).
+func Fig6(c *Context) []*Table {
+	t := &Table{
+		ID:     "fig6",
+		Title:  "Hit-to-taken (%) under OPT at each decile of unique branches",
+		Header: append([]string{"% of branches"}, fig67Apps...),
+	}
+	cols := make([][]float64, len(fig67Apps))
+	for i, app := range fig67Apps {
+		res := beladyResult(c.AppTrace(app, 0))
+		sorted := res.SortedByTemperature()
+		for d := 0; d <= 10; d++ {
+			idx := d * (len(sorted) - 1) / 10
+			cols[i] = append(cols[i], 100*sorted[idx].HitToTaken())
+		}
+	}
+	for d := 0; d <= 10; d++ {
+		row := []string{fmt.Sprintf("%d%%", d*10)}
+		for i := range fig67Apps {
+			row = append(row, f2(cols[i][d]/100))
+		}
+		t.AddRow(row...)
+	}
+	t.Notes = append(t.Notes,
+		"paper: ~half of branches hot (>80%), ~20% cold (<=50%); verilator drops steeply")
+	return []*Table{t}
+}
+
+// Fig7 — cumulative distribution of dynamic BTB accesses over the same
+// temperature-sorted branch order.
+func Fig7(c *Context) []*Table {
+	t := &Table{
+		ID:     "fig7",
+		Title:  "Dynamic execution CDF (%) at each decile of unique branches",
+		Header: append([]string{"% of branches"}, fig67Apps...),
+	}
+	cols := make([][]float64, len(fig67Apps))
+	for i, app := range fig67Apps {
+		res := beladyResult(c.AppTrace(app, 0))
+		sorted := res.SortedByTemperature()
+		weights := make([]float64, len(sorted))
+		for j, b := range sorted {
+			weights[j] = float64(b.Taken)
+		}
+		cdf := metrics.CDF(weights)
+		for d := 0; d <= 10; d++ {
+			idx := d * (len(cdf) - 1) / 10
+			cols[i] = append(cols[i], 100*cdf[idx])
+		}
+	}
+	for d := 0; d <= 10; d++ {
+		row := []string{fmt.Sprintf("%d%%", d*10)}
+		for i := range fig67Apps {
+			row = append(row, f2(cols[i][d]))
+		}
+		t.AddRow(row...)
+	}
+	t.Notes = append(t.Notes, "paper: hot branches account for >90% of dynamic accesses")
+	return []*Table{t}
+}
+
+// Fig8 — correlation between branch properties and branch temperature.
+func Fig8(c *Context) []*Table {
+	t := &Table{
+		ID:    "fig8",
+		Title: "|Spearman| correlation of branch properties vs temperature",
+		Header: []string{"app", "type", "target-distance", "bias",
+			"avg-reuse-distance"},
+	}
+	cfg := core.DefaultConfig()
+	sets := cfg.BTBEntries / cfg.BTBWays
+	for _, app := range workload.AppNames() {
+		tr := c.AppTrace(app, 0)
+		res := beladyResult(tr)
+		stats := tr.StaticBranches()
+		reuse := metrics.ReuseSequences(tr.AccessStream(), sets)
+
+		var temp, typ, dist, bias, avgReuse []float64
+		for pc, b := range res.PerBranch {
+			s := stats[pc]
+			if s == nil {
+				continue
+			}
+			seq := reuse[pc]
+			if len(seq) < 2 {
+				continue
+			}
+			temp = append(temp, b.HitToTaken())
+			typ = append(typ, float64(b.Type))
+			dist = append(dist, s.TargetDistance)
+			bias = append(bias, s.Bias())
+			avgReuse = append(avgReuse, metrics.Mean(seq))
+		}
+		t.AddRow(app,
+			f2(metrics.SpearmanAbs(typ, temp)),
+			f2(metrics.SpearmanAbs(dist, temp)),
+			f2(metrics.SpearmanAbs(bias, temp)),
+			f2(metrics.SpearmanAbs(avgReuse, temp)))
+	}
+	t.Notes = append(t.Notes,
+		"paper: holistic (avg) reuse distance strongly correlates with temperature; type/distance/bias do not")
+	return []*Table{t}
+}
+
+// Fig9 — bypass ratio (% of misses not inserted by OPT) per temperature
+// category.
+func Fig9(c *Context) []*Table {
+	t := &Table{
+		ID:     "fig9",
+		Title:  "OPT bypass ratio (%) by temperature category",
+		Header: []string{"app", "cold", "warm", "hot"},
+	}
+	pcfg := profile.DefaultConfig()
+	var sums [3]float64
+	for _, app := range workload.AppNames() {
+		res := beladyResult(c.AppTrace(app, 0))
+		var byp, miss [3]float64
+		for _, b := range res.PerBranch {
+			cat := pcfg.Categorize(b.HitToTaken())
+			byp[cat] += float64(b.Bypasses)
+			miss[cat] += float64(b.Bypasses + b.Inserts)
+		}
+		row := []string{app}
+		for i := 0; i < 3; i++ {
+			v := 0.0
+			if miss[i] > 0 {
+				v = byp[i] / miss[i]
+			}
+			sums[i] += v
+			row = append(row, pct(v))
+		}
+		t.AddRow(row...)
+	}
+	n := float64(len(workload.AppNames()))
+	t.AddRow("Avg", pct(sums[0]/n), pct(sums[1]/n), pct(sums[2]/n))
+	t.Notes = append(t.Notes,
+		"paper: cold branches bypassed in >50% of cases; hot branches almost always inserted")
+	return []*Table{t}
+}

@@ -1,0 +1,195 @@
+package experiments
+
+import (
+	"fmt"
+
+	"thermometer/internal/btb"
+	"thermometer/internal/core"
+	"thermometer/internal/policy"
+	"thermometer/internal/prefetch"
+	"thermometer/internal/profile"
+	"thermometer/internal/workload"
+)
+
+// sensApps are the applications the paper sweeps in Figs 19 and 20.
+var sensApps = []string{"cassandra", "drupal", "tomcat"}
+
+// fracOfOPT returns Thermometer's and SRRIP's speedup as a percentage of
+// the OPT speedup for the given geometry/config mutation. Hints are
+// re-profiled for the geometry under test (the BTB-size dependency of
+// §3.4).
+func fracOfOPT(c *Context, app string, entries, ways int, mut func(*core.Config)) (therm, srrip float64) {
+	tr := c.AppTrace(app, 0)
+	ht, _, err := profile.ProfileTrace(tr, entries, ways, profile.DefaultConfig())
+	if err != nil {
+		panic(err)
+	}
+	geo := func(cc *core.Config) {
+		cc.BTBEntries = entries
+		cc.BTBWays = ways
+		if mut != nil {
+			mut(cc)
+		}
+	}
+	lru := runPolicy(tr, nil, nil, geo)
+	opt := runPolicy(tr, optNew, nil, geo)
+	den := core.Speedup(lru, opt)
+	if den <= 0 {
+		return 0, 0
+	}
+	th := runPolicy(tr, thermNew, ht, geo)
+	sr := runPolicy(tr, func() btb.Policy { return policy.NewSRRIP() }, nil, geo)
+	return core.Speedup(lru, th) / den, core.Speedup(lru, sr) / den
+}
+
+// Fig19 — sensitivity to the number of BTB entries (left) and BTB ways
+// (right), as % of the optimal policy's speedup.
+func Fig19(c *Context) []*Table {
+	left := &Table{
+		ID:     "fig19",
+		Title:  "% of OPT speedup vs number of BTB entries (4-way)",
+		Header: []string{"entries"},
+	}
+	for _, app := range sensApps {
+		left.Header = append(left.Header, "Therm-"+app, "SRRIP-"+app)
+	}
+	for _, entries := range []int{1024, 2048, 4096, 8192, 16384, 32768} {
+		row := []string{fmt.Sprint(entries)}
+		for _, app := range sensApps {
+			th, sr := fracOfOPT(c, app, entries, 4, nil)
+			row = append(row, pct(th), pct(sr))
+		}
+		left.AddRow(row...)
+	}
+
+	right := &Table{
+		ID:     "fig19",
+		Title:  "% of OPT speedup vs BTB associativity (8192 entries)",
+		Header: []string{"ways"},
+	}
+	for _, app := range sensApps {
+		right.Header = append(right.Header, "Therm-"+app, "SRRIP-"+app)
+	}
+	for _, ways := range []int{4, 8, 16, 32, 64, 128} {
+		row := []string{fmt.Sprint(ways)}
+		for _, app := range sensApps {
+			th, sr := fracOfOPT(c, app, 8192, ways, nil)
+			row = append(row, pct(th), pct(sr))
+		}
+		right.AddRow(row...)
+	}
+	right.Notes = append(right.Notes,
+		"paper: Thermometer beats SRRIP at every size and associativity")
+	return []*Table{left, right}
+}
+
+// Fig20 — sensitivity to the number of temperature categories (left; 2-bit
+// hints support up to 4, more categories shown for the quantization study)
+// and to the FTQ size (right).
+func Fig20(c *Context) []*Table {
+	cfg := core.DefaultConfig()
+	left := &Table{
+		ID:     "fig20",
+		Title:  "% of OPT speedup vs number of temperature categories",
+		Header: []string{"categories"},
+	}
+	for _, app := range sensApps {
+		left.Header = append(left.Header, "Therm-"+app)
+	}
+	for _, cats := range []int{2, 3, 4, 8, 16} {
+		row := []string{fmt.Sprint(cats)}
+		for _, app := range sensApps {
+			tr := c.AppTrace(app, 0)
+			var pcfg profile.Config
+			if cats == 3 {
+				pcfg = profile.DefaultConfig() // the paper's 50%/80%
+			} else {
+				res := beladyResult(tr)
+				pcfg = profile.Config{
+					Thresholds:      profile.QuantileThresholds(res, cats),
+					DefaultCategory: uint8(cats / 2),
+				}
+			}
+			ht, _, err := profile.ProfileTrace(tr, cfg.BTBEntries, cfg.BTBWays, pcfg)
+			if err != nil {
+				panic(err)
+			}
+			lru := runPolicy(tr, nil, nil, nil)
+			opt := runPolicy(tr, optNew, nil, nil)
+			den := core.Speedup(lru, opt)
+			th := runPolicy(tr, thermNew, ht, nil)
+			frac := 0.0
+			if den > 0 {
+				frac = core.Speedup(lru, th) / den
+			}
+			row = append(row, pct(frac))
+		}
+		left.AddRow(row...)
+	}
+	left.Notes = append(left.Notes, "paper: 3-4 categories (2-bit hints) work best")
+
+	right := &Table{
+		ID:     "fig20",
+		Title:  "% of OPT speedup vs FTQ size (instructions)",
+		Header: []string{"ftq"},
+	}
+	for _, app := range sensApps {
+		right.Header = append(right.Header, "Therm-"+app, "SRRIP-"+app)
+	}
+	for _, ftq := range []int{64, 128, 192, 256} {
+		row := []string{fmt.Sprint(ftq)}
+		for _, app := range sensApps {
+			th, sr := fracOfOPT(c, app, cfg.BTBEntries, cfg.BTBWays, func(cc *core.Config) {
+				cc.FTQInstrCap = ftq
+			})
+			row = append(row, pct(th), pct(sr))
+		}
+		right.AddRow(row...)
+	}
+	right.Notes = append(right.Notes,
+		"paper: Thermometer's fraction of OPT is insensitive to FDIP run-ahead depth")
+	return []*Table{left, right}
+}
+
+// Fig21 — Thermometer combined with the Twig BTB prefetcher: speedups over
+// the LRU+Twig baseline.
+func Fig21(c *Context) []*Table {
+	t := &Table{
+		ID:     "fig21",
+		Title:  "Speedup (%) over LRU+Twig: replacement under BTB prefetching",
+		Header: []string{"app", "SRRIP", "Thermometer", "OPT"},
+	}
+	cfg := core.DefaultConfig()
+	var sums, sumsNoVeri [3]float64
+	for _, app := range workload.AppNames() {
+		tr := c.AppTrace(app, 0)
+		tw := prefetch.TrainTwig(tr, prefetch.TwigConfig{
+			Entries: cfg.BTBEntries, Ways: cfg.BTBWays,
+		})
+		withTwig := func(cc *core.Config) { cc.Prefetcher = tw }
+		ht := c.Hints(app, 0, cfg.BTBEntries, cfg.BTBWays, profile.DefaultConfig())
+
+		base := runPolicy(tr, nil, nil, withTwig)
+		sp := func(r *core.Result) float64 { return core.Speedup(base, r) }
+		vals := [3]float64{
+			sp(runPolicy(tr, func() btb.Policy { return policy.NewSRRIP() }, nil, withTwig)),
+			sp(runPolicy(tr, thermNew, ht, withTwig)),
+			sp(runPolicy(tr, optNew, nil, withTwig)),
+		}
+		row := []string{app}
+		for i, v := range vals {
+			sums[i] += v
+			if app != "verilator" {
+				sumsNoVeri[i] += v
+			}
+			row = append(row, pct(v))
+		}
+		t.AddRow(row...)
+	}
+	n := float64(len(workload.AppNames()))
+	t.AddRow("Avg no verilator", pct(sumsNoVeri[0]/(n-1)), pct(sumsNoVeri[1]/(n-1)), pct(sumsNoVeri[2]/(n-1)))
+	t.AddRow("Avg", pct(sums[0]/n), pct(sums[1]/n), pct(sums[2]/n))
+	t.Notes = append(t.Notes,
+		"paper: Thermometer+Twig 30.9% over LRU+Twig (95.9% of OPT's 32.2%); SRRIP 1.37%")
+	return []*Table{t}
+}

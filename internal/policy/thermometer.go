@@ -1,0 +1,177 @@
+package policy
+
+import "thermometer/internal/btb"
+
+// Thermometer implements Algorithm 1 of the paper: replacement guided by
+// the profile-injected temperature hint (holistic behaviour) with LRU tie
+// breaking (transient behaviour).
+//
+// Victim selection considers the incoming branch x0 together with the
+// resident entries. It finds the coldest temperature t among all of them;
+// if x0 alone has temperature t, the insertion is bypassed; otherwise the
+// least recently used resident among the coldest-temperature candidates is
+// evicted.
+//
+// Temperatures arrive on each Request (the simulator reads them from the
+// profile.HintTable, standing in for the bits a compiler would encode into
+// the branch instruction) and are stored per entry by the BTB, matching the
+// 2-bits-per-entry hardware cost computed in §3.4.
+type Thermometer struct {
+	lru lruState
+
+	// noBypass disables Algorithm 1's bypass (line 5-6) for the ablation
+	// study of §2.5: a uniquely-coldest incoming branch is then inserted
+	// over the coldest (LRU-tie-broken) resident.
+	noBypass bool
+
+	// CoverageStats tracks how often the temperature hint actually
+	// discriminated between candidates (Fig 15). A decision is "covered"
+	// unless every candidate (residents and the incoming branch) shares
+	// the same temperature, in which case Thermometer degenerates to LRU.
+	Decisions uint64
+	Covered   uint64
+	Bypasses  uint64
+}
+
+// NewThermometer returns the Thermometer replacement policy.
+func NewThermometer() *Thermometer { return &Thermometer{} }
+
+// NewThermometerNoBypass returns the §2.5 ablation: temperature-guided
+// eviction without the bypass path.
+func NewThermometerNoBypass() *Thermometer { return &Thermometer{noBypass: true} }
+
+// Name implements btb.Policy.
+func (p *Thermometer) Name() string {
+	if p.noBypass {
+		return "Thermometer-nobypass"
+	}
+	return "Thermometer"
+}
+
+// Reset implements btb.Policy.
+func (p *Thermometer) Reset(sets, ways int) {
+	p.lru.reset(sets, ways)
+	p.Decisions, p.Covered, p.Bypasses = 0, 0, 0
+}
+
+// OnHit implements btb.Policy.
+func (p *Thermometer) OnHit(set, way int, _ *btb.Request) { p.lru.touch(set, way) }
+
+// OnInsert implements btb.Policy.
+func (p *Thermometer) OnInsert(set, way int, _ *btb.Request) { p.lru.touch(set, way) }
+
+// Victim implements btb.Policy (Algorithm 1).
+func (p *Thermometer) Victim(set int, entries []btb.Entry, req *btb.Request) int {
+	p.Decisions++
+
+	coldest := req.Temperature
+	allSame := true
+	for i := range entries {
+		t := entries[i].Temperature
+		if t != req.Temperature {
+			allSame = false
+		}
+		if t < coldest {
+			coldest = t
+		}
+	}
+	if !allSame {
+		p.Covered++
+	}
+
+	var candidates []int
+	for i := range entries {
+		if entries[i].Temperature == coldest {
+			candidates = append(candidates, i)
+		}
+	}
+	if len(candidates) == 0 {
+		if p.noBypass || req.Prefetch {
+			// Insert anyway, evicting the coldest (LRU-tie-broken)
+			// resident: either the no-bypass ablation is active, or this
+			// is a prefetcher-initiated fill whose transient evidence of
+			// imminent reuse outweighs the holistic cold hint.
+			coldestResident := entries[0].Temperature
+			for i := range entries {
+				if entries[i].Temperature < coldestResident {
+					coldestResident = entries[i].Temperature
+				}
+			}
+			for i := range entries {
+				if entries[i].Temperature == coldestResident {
+					candidates = append(candidates, i)
+				}
+			}
+			return p.lru.lruAmong(set, candidates)
+		}
+		// The incoming branch is uniquely coldest: bypass (Alg. 1 line 6).
+		p.Bypasses++
+		return btb.Bypass
+	}
+	return p.lru.lruAmong(set, candidates)
+}
+
+// Coverage returns the fraction of replacement decisions where the
+// temperature hint discriminated between candidates (Fig 15's metric).
+func (p *Thermometer) Coverage() float64 {
+	if p.Decisions == 0 {
+		return 0
+	}
+	return float64(p.Covered) / float64(p.Decisions)
+}
+
+var _ btb.Policy = (*Thermometer)(nil)
+
+// HolisticOnly is the Fig 16 ablation that uses *only* the holistic
+// temperature hint: coldest-temperature eviction with insertion-order
+// (FIFO) tie breaking, deliberately ignoring recency.
+type HolisticOnly struct {
+	fifo fifoState
+}
+
+// NewHolisticOnly returns the holistic-only ablation policy.
+func NewHolisticOnly() *HolisticOnly { return &HolisticOnly{} }
+
+// Name implements btb.Policy.
+func (p *HolisticOnly) Name() string { return "Holistic" }
+
+// Reset implements btb.Policy.
+func (p *HolisticOnly) Reset(sets, ways int) { p.fifo.reset(sets, ways) }
+
+// OnHit implements btb.Policy: recency is deliberately not tracked.
+func (p *HolisticOnly) OnHit(int, int, *btb.Request) {}
+
+// OnInsert implements btb.Policy.
+func (p *HolisticOnly) OnInsert(set, way int, _ *btb.Request) { p.fifo.inserted(set, way) }
+
+// Victim implements btb.Policy.
+func (p *HolisticOnly) Victim(set int, entries []btb.Entry, req *btb.Request) int {
+	coldest := req.Temperature
+	for i := range entries {
+		if entries[i].Temperature < coldest {
+			coldest = entries[i].Temperature
+		}
+	}
+	var candidates []int
+	for i := range entries {
+		if entries[i].Temperature == coldest {
+			candidates = append(candidates, i)
+		}
+	}
+	if len(candidates) == 0 {
+		return btb.Bypass
+	}
+	return p.fifo.oldestAmong(set, candidates)
+}
+
+var _ btb.Policy = (*HolisticOnly)(nil)
+
+// TransientOnly is the Fig 16 ablation that uses only transient reuse
+// behaviour — it is exactly LRU, aliased for figure labelling.
+type TransientOnly struct{ LRU }
+
+// NewTransientOnly returns the transient-only ablation policy.
+func NewTransientOnly() *TransientOnly { return &TransientOnly{} }
+
+// Name implements btb.Policy.
+func (p *TransientOnly) Name() string { return "Transient" }

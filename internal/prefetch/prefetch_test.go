@@ -1,0 +1,147 @@
+package prefetch
+
+import (
+	"testing"
+
+	"thermometer/internal/core"
+	"thermometer/internal/trace"
+	"thermometer/internal/workload"
+)
+
+func appTrace(t *testing.T, name string, frac int) *trace.Trace {
+	t.Helper()
+	spec, ok := workload.App(name)
+	if !ok {
+		t.Fatalf("unknown app %q", name)
+	}
+	return spec.ScaleLength(1, frac).Generate(0)
+}
+
+// recorder captures insert calls.
+type recorder struct {
+	inserted []uint64
+}
+
+func (r *recorder) insert(pc, target uint64, typ trace.BranchType) {
+	r.inserted = append(r.inserted, pc)
+}
+
+func TestConfluenceInsertsLineBundle(t *testing.T) {
+	tr := &trace.Trace{Records: []trace.Record{
+		{PC: 0x100, Target: 0x200, Taken: true, Type: trace.UncondDirect},
+		{PC: 0x108, Target: 0x300, Taken: true, Type: trace.UncondDirect},
+		{PC: 0x400, Target: 0x500, Taken: true, Type: trace.UncondDirect},
+	}}
+	meta := core.BuildMeta(tr.AccessStream())
+	p := NewConfluence(meta)
+	var rec recorder
+	// Confluence is history-based: unseen branches are never bundled.
+	p.OnLineFill(0x100>>6, rec.insert)
+	if len(rec.inserted) != 0 {
+		t.Fatalf("unseen branches bundled: %v", rec.inserted)
+	}
+	// Once observed on demand accesses, they are.
+	p.OnBTBAccess(0x100, 0x200, false, rec.insert)
+	p.OnBTBAccess(0x108, 0x300, false, rec.insert)
+	if len(rec.inserted) != 0 {
+		t.Fatal("Confluence inserted on BTB access")
+	}
+	p.OnLineFill(0x100>>6, rec.insert)
+	if len(rec.inserted) != 2 {
+		t.Fatalf("bundle inserts = %v, want the 2 seen branches in block 0x4", rec.inserted)
+	}
+	rec.inserted = nil
+	p.OnLineFill(0x999999>>6, rec.insert)
+	if len(rec.inserted) != 0 {
+		t.Fatal("unknown block inserted entries")
+	}
+}
+
+func TestShotgunPrefetchesTargetRegion(t *testing.T) {
+	tr := &trace.Trace{Records: []trace.Record{
+		{PC: 0x100, Target: 0x1000, Taken: true, Type: trace.UncondDirect},
+		{PC: 0x1004, Target: 0x1100, Taken: true, Type: trace.UncondDirect},
+		{PC: 0x1040, Target: 0x1200, Taken: true, Type: trace.UncondDirect},
+	}}
+	meta := core.BuildMeta(tr.AccessStream())
+	p := NewShotgun(meta)
+	var rec recorder
+	// Teach Shotgun the region's branches via demand accesses first.
+	p.OnBTBAccess(0x1004, 0x1100, true, rec.insert)
+	p.OnBTBAccess(0x1040, 0x1200, true, rec.insert)
+	rec.inserted = nil
+	p.OnBTBAccess(0x100, 0x1000, true, rec.insert)
+	// Region around 0x1000 (4 blocks) holds seen branches 0x1004, 0x1040.
+	if len(rec.inserted) != 2 {
+		t.Fatalf("region inserts = %v", rec.inserted)
+	}
+	rec.inserted = nil
+	p.OnLineFill(0x40, rec.insert) // no-op
+	if len(rec.inserted) != 0 {
+		t.Fatal("Shotgun acted on line fill")
+	}
+}
+
+func TestTwigLearnsTriggers(t *testing.T) {
+	spec, _ := workload.App("kafka")
+	tr := spec.ScaleLength(1, 16).Generate(0)
+	tw := TrainTwig(tr, TwigConfig{})
+	if tw.TableSize() == 0 {
+		t.Fatal("Twig learned nothing")
+	}
+	if tw.Name() != "Twig" {
+		t.Fatal("name")
+	}
+}
+
+func TestTwigReducesMissesInTiming(t *testing.T) {
+	tr := appTrace(t, "kafka", 8)
+	base := core.Run(tr, core.DefaultConfig())
+	tw := TrainTwig(tr, TwigConfig{})
+	cfg := core.DefaultConfig()
+	cfg.Prefetcher = tw
+	r := core.Run(tr, cfg)
+	if r.PrefetchFills == 0 {
+		t.Fatal("Twig issued no prefetches")
+	}
+	if r.BTB.Misses >= base.BTB.Misses {
+		t.Fatalf("Twig misses %d >= baseline %d", r.BTB.Misses, base.BTB.Misses)
+	}
+}
+
+func TestConfluenceInTiming(t *testing.T) {
+	tr := appTrace(t, "kafka", 8)
+	meta := core.BuildMeta(tr.AccessStream())
+	cfg := core.DefaultConfig()
+	cfg.Prefetcher = NewConfluence(meta)
+	r := core.Run(tr, cfg)
+	if r.PrefetchFills == 0 {
+		t.Fatal("Confluence issued no prefetches")
+	}
+	base := core.Run(tr, core.DefaultConfig())
+	// Confluence should reduce demand misses (its effect on IPC may be
+	// small or even negative due to pollution, as the paper reports).
+	if r.BTB.Misses >= base.BTB.Misses {
+		t.Fatalf("Confluence misses %d >= baseline %d", r.BTB.Misses, base.BTB.Misses)
+	}
+}
+
+func TestShotgunInTiming(t *testing.T) {
+	tr := appTrace(t, "kafka", 8)
+	meta := core.BuildMeta(tr.AccessStream())
+	cfg := core.DefaultConfig()
+	cfg.Prefetcher = NewShotgun(meta)
+	cfg.ShotgunPartition = true
+	r := core.Run(tr, cfg)
+	if r.PrefetchFills == 0 {
+		t.Fatal("Shotgun issued no prefetches")
+	}
+}
+
+func TestTwigConfigDefaults(t *testing.T) {
+	tr := appTrace(t, "python", 32)
+	tw := TrainTwig(tr, TwigConfig{Distance: 0, MaxPerTrigger: 0, Entries: 0, Ways: 0})
+	if tw.distance != 48 || tw.maxPer != 6 {
+		t.Fatalf("defaults not applied: %+v", tw)
+	}
+}

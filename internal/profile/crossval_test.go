@@ -1,0 +1,85 @@
+package profile_test
+
+import (
+	"testing"
+
+	"thermometer/internal/belady"
+	"thermometer/internal/policy"
+	"thermometer/internal/profile"
+	"thermometer/internal/replay"
+	"thermometer/internal/trace"
+	"thermometer/internal/xrand"
+)
+
+func zipfStream(seed uint64, nPCs, length int) []trace.Access {
+	r := xrand.New(seed)
+	z := xrand.NewZipf(nPCs, 0.9)
+	tr := &trace.Trace{Name: "cv"}
+	for i := 0; i < length; i++ {
+		pc := uint64(z.Sample(r) + 1)
+		tr.Records = append(tr.Records, trace.Record{
+			PC: pc, Target: pc + 4, Taken: true, Type: trace.UncondDirect,
+		})
+	}
+	return tr.AccessStream()
+}
+
+// TestInternalReplayMatchesPackageReplay: the miniature Algorithm 1 replay
+// inside CrossValidateThresholds must agree exactly with the real
+// Thermometer policy running under package replay.
+func TestInternalReplayMatchesPackageReplay(t *testing.T) {
+	for seed := uint64(1); seed <= 6; seed++ {
+		acc := zipfStream(seed, 200, 4000)
+		res := belady.Profile(acc, 64, 4)
+		ht, err := profile.Build(res, profile.DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := replay.Run(acc, replay.Options{
+			Entries: 64, Ways: 4,
+			Policy: policy.NewThermometer(), Hints: ht,
+		}).Stats.Misses
+		got := profile.ThermometerMissesForTest(acc, 64, 4, ht)
+		if got != want {
+			t.Fatalf("seed %d: internal replay %d misses != package replay %d", seed, got, want)
+		}
+	}
+}
+
+func TestCrossValidateThresholds(t *testing.T) {
+	acc := zipfStream(42, 300, 8000)
+	cfg, err := profile.CrossValidateThresholds(acc, 128, 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("selected config invalid: %v", err)
+	}
+	// The selected thresholds must come from the default grid.
+	found := false
+	for _, g := range profile.DefaultThresholdGrid() {
+		if len(g) == len(cfg.Thresholds) && g[0] == cfg.Thresholds[0] && g[1] == cfg.Thresholds[1] {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("thresholds %v not from grid", cfg.Thresholds)
+	}
+}
+
+func TestCrossValidateRejectsBadGrid(t *testing.T) {
+	acc := zipfStream(1, 10, 100)
+	if _, err := profile.CrossValidateThresholds(acc, 16, 4, [][]float64{{0.9, 0.1}}); err == nil {
+		t.Fatal("descending grid entry accepted")
+	}
+}
+
+func TestCrossValidateTinyStream(t *testing.T) {
+	cfg, err := profile.CrossValidateThresholds(nil, 16, 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cfg.Thresholds) == 0 {
+		t.Fatal("no default returned for tiny stream")
+	}
+}

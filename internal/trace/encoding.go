@@ -1,0 +1,108 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"io"
+)
+
+// The on-disk trace format is a compact, stream-friendly binary encoding:
+//
+//	magic   "THRMTRC1"                      (8 bytes)
+//	name    uvarint length + UTF-8 bytes
+//	count   uvarint number of records
+//	records count × record
+//
+// Each record encodes:
+//
+//	flags    1 byte: bits 0-2 type, bit 3 taken
+//	pc       varint delta from previous record's PC (zigzag)
+//	target   varint delta from PC (zigzag), only if taken
+//	blockLen uvarint
+//
+// PC deltas make traces of real control flow (nearby branches) small; the
+// format is a stand-in for the Intel PT capture files the paper's profiler
+// consumes.
+
+const magic = "THRMTRC1"
+
+// ErrBadMagic is returned by Read when the input does not start with the
+// trace file magic.
+var ErrBadMagic = errors.New("trace: bad magic (not a trace file)")
+
+// Write serializes t to w in the binary trace format.
+func Write(w io.Writer, t *Trace) error {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	if _, err := bw.WriteString(magic); err != nil {
+		return err
+	}
+	var buf [binary.MaxVarintLen64]byte
+	putUvarint := func(v uint64) error {
+		n := binary.PutUvarint(buf[:], v)
+		_, err := bw.Write(buf[:n])
+		return err
+	}
+	putVarint := func(v int64) error {
+		n := binary.PutVarint(buf[:], v)
+		_, err := bw.Write(buf[:n])
+		return err
+	}
+	if err := putUvarint(uint64(len(t.Name))); err != nil {
+		return err
+	}
+	if _, err := bw.WriteString(t.Name); err != nil {
+		return err
+	}
+	if err := putUvarint(uint64(len(t.Records))); err != nil {
+		return err
+	}
+	var prevPC uint64
+	for i := range t.Records {
+		r := &t.Records[i]
+		flags := byte(r.Type) & 0x7
+		if r.Taken {
+			flags |= 0x8
+		}
+		if err := bw.WriteByte(flags); err != nil {
+			return err
+		}
+		if err := putVarint(int64(r.PC) - int64(prevPC)); err != nil {
+			return err
+		}
+		prevPC = r.PC
+		if r.Taken {
+			if err := putVarint(int64(r.Target) - int64(r.PC)); err != nil {
+				return err
+			}
+		}
+		if err := putUvarint(uint64(r.BlockLen)); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Read parses a trace previously produced by Write. It validates the result
+// before returning it.
+func Read(r io.Reader) (*Trace, error) {
+	sr, err := NewReader(r)
+	if err != nil {
+		return nil, err
+	}
+	t := &Trace{Name: sr.Name(), Records: make([]Record, 0, sr.Len())}
+	for {
+		rec, err := sr.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		t.Records = append(t.Records, rec)
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}

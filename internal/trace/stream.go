@@ -1,0 +1,93 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Reader streams records from a binary trace without materializing the
+// whole trace in memory — the way a profiler would consume a multi-gigabyte
+// Intel PT capture. The full-trace Read function is built on top of it.
+type Reader struct {
+	br     *bufio.Reader
+	name   string
+	total  uint64
+	read   uint64
+	prevPC uint64
+}
+
+// NewReader parses the trace header and returns a streaming reader.
+func NewReader(r io.Reader) (*Reader, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	var m [len(magic)]byte
+	if _, err := io.ReadFull(br, m[:]); err != nil {
+		return nil, fmt.Errorf("trace: reading magic: %w", err)
+	}
+	if string(m[:]) != magic {
+		return nil, ErrBadMagic
+	}
+	nameLen, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("trace: reading name length: %w", err)
+	}
+	if nameLen > 1<<16 {
+		return nil, fmt.Errorf("trace: unreasonable name length %d", nameLen)
+	}
+	name := make([]byte, nameLen)
+	if _, err := io.ReadFull(br, name); err != nil {
+		return nil, fmt.Errorf("trace: reading name: %w", err)
+	}
+	count, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("trace: reading record count: %w", err)
+	}
+	if count > 1<<34 {
+		return nil, fmt.Errorf("trace: unreasonable record count %d", count)
+	}
+	return &Reader{br: br, name: string(name), total: count}, nil
+}
+
+// Name returns the trace name from the header.
+func (r *Reader) Name() string { return r.name }
+
+// Len returns the total record count declared in the header.
+func (r *Reader) Len() uint64 { return r.total }
+
+// Next returns the next record, or io.EOF after the last one.
+func (r *Reader) Next() (Record, error) {
+	if r.read >= r.total {
+		return Record{}, io.EOF
+	}
+	var rec Record
+	flags, err := r.br.ReadByte()
+	if err != nil {
+		return rec, fmt.Errorf("trace: record %d flags: %w", r.read, err)
+	}
+	rec.Type = BranchType(flags & 0x7)
+	rec.Taken = flags&0x8 != 0
+	dpc, err := binary.ReadVarint(r.br)
+	if err != nil {
+		return rec, fmt.Errorf("trace: record %d pc: %w", r.read, err)
+	}
+	rec.PC = uint64(int64(r.prevPC) + dpc)
+	r.prevPC = rec.PC
+	if rec.Taken {
+		dt, err := binary.ReadVarint(r.br)
+		if err != nil {
+			return rec, fmt.Errorf("trace: record %d target: %w", r.read, err)
+		}
+		rec.Target = uint64(int64(rec.PC) + dt)
+	}
+	bl, err := binary.ReadUvarint(r.br)
+	if err != nil {
+		return rec, fmt.Errorf("trace: record %d block length: %w", r.read, err)
+	}
+	if bl > 0xffff {
+		return rec, fmt.Errorf("trace: record %d block length %d overflows", r.read, bl)
+	}
+	rec.BlockLen = uint16(bl)
+	r.read++
+	return rec, nil
+}

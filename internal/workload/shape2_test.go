@@ -1,0 +1,49 @@
+package workload
+
+import (
+	"testing"
+
+	"thermometer/internal/belady"
+	"thermometer/internal/policy"
+	"thermometer/internal/profile"
+	"thermometer/internal/replay"
+)
+
+// TestPolicyGapDiagnostics prints the Fig 12-style miss-reduction picture:
+// SRRIP / GHRP / Hawkeye / Thermometer / OPT miss reduction over LRU.
+func TestPolicyGapDiagnostics(t *testing.T) {
+	if testing.Short() {
+		t.Skip("diagnostics only")
+	}
+	const entries, ways = 8192, 4
+	var sums [5]float64
+	for _, spec := range Apps() {
+		tr := spec.Generate(0)
+		acc := tr.AccessStream()
+		ht, _, err := profile.ProfileTrace(tr, entries, ways, profile.DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		lru := replay.Run(acc, replay.Options{Entries: entries, Ways: ways, Policy: policy.NewLRU()})
+		srrip := replay.Run(acc, replay.Options{Entries: entries, Ways: ways, Policy: policy.NewSRRIP()})
+		ghrp := replay.Run(acc, replay.Options{Entries: entries, Ways: ways, Policy: policy.NewGHRP()})
+		hawk := replay.Run(acc, replay.Options{Entries: entries, Ways: ways, Policy: policy.NewHawkeye()})
+		therm := replay.Run(acc, replay.Options{Entries: entries, Ways: ways, Policy: policy.NewThermometer(), Hints: ht})
+		opt := belady.Profile(acc, entries, ways)
+
+		base := float64(lru.Stats.Misses)
+		red := func(m uint64) float64 { return 100 * (base - float64(m)) / base }
+		rs, rg, rh, rt, ro := red(srrip.Stats.Misses), red(ghrp.Stats.Misses), red(hawk.Stats.Misses),
+			red(therm.Stats.Misses), red(opt.Misses)
+		sums[0] += rs
+		sums[1] += rg
+		sums[2] += rh
+		sums[3] += rt
+		sums[4] += ro
+		t.Logf("%-16s missRed%%: SRRIP=%6.2f GHRP=%6.2f Hawkeye=%6.2f Therm=%6.2f OPT=%6.2f",
+			spec.Name, rs, rg, rh, rt, ro)
+	}
+	n := float64(len(Apps()))
+	t.Logf("%-16s missRed%%: SRRIP=%6.2f GHRP=%6.2f Hawkeye=%6.2f Therm=%6.2f OPT=%6.2f",
+		"AVG", sums[0]/n, sums[1]/n, sums[2]/n, sums[3]/n, sums[4]/n)
+}

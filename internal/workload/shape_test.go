@@ -1,0 +1,49 @@
+package workload
+
+import (
+	"testing"
+
+	"thermometer/internal/belady"
+	"thermometer/internal/policy"
+	"thermometer/internal/replay"
+)
+
+// TestShapeDiagnostics prints the characterization numbers the synthetic
+// workloads must reproduce. Run with -v to inspect. (Assertion-based shape
+// tests live in workload_test.go; this is the engineer-facing dashboard.)
+func TestShapeDiagnostics(t *testing.T) {
+	if testing.Short() {
+		t.Skip("diagnostics only")
+	}
+	const entries, ways = 8192, 4
+	for _, spec := range Apps() {
+		spec := spec // full length
+		tr := spec.Generate(0)
+		acc := tr.AccessStream()
+		lru := replay.Run(acc, replay.Options{Entries: entries, Ways: ways, Policy: policy.NewLRU()})
+		opt := belady.Profile(acc, entries, ways)
+
+		// Temperature distribution under OPT.
+		sorted := opt.SortedByTemperature()
+		hot, warm := 0, 0
+		var hotDyn, totDyn uint64
+		for _, b := range sorted {
+			r := b.HitToTaken()
+			if r > 0.8 {
+				hot++
+				hotDyn += b.Taken
+			} else if r > 0.5 {
+				warm++
+			}
+			totDyn += b.Taken
+		}
+		nuniq := len(sorted)
+		takenPerKI := float64(lru.Stats.Accesses) / float64(tr.Instructions()) * 1000
+		t.Logf("%-16s uniq=%6d dyn=%7d LRUmiss%%=%5.2f OPTmiss%%=%5.2f MPKI(LRU)=%5.2f hot%%=%4.1f warm%%=%4.1f hotDyn%%=%4.1f tkPKI=%5.0f",
+			spec.Name, nuniq, lru.Stats.Accesses,
+			100*lru.MissRatio(), 100*(1-opt.HitRate()),
+			float64(lru.Stats.Misses)/float64(tr.Instructions())*1000,
+			100*float64(hot)/float64(nuniq), 100*float64(warm)/float64(nuniq),
+			100*float64(hotDyn)/float64(totDyn), takenPerKI)
+	}
+}

@@ -1,0 +1,525 @@
+// Package workload synthesizes branch traces with the structural properties
+// the paper measures in real data center applications.
+//
+// The paper's traces are Intel PT captures of proprietary deployments; we
+// cannot ship those, so each of the 13 applications is modelled by an
+// AppSpec whose parameters are set from the paper's own characterization:
+//
+//   - branch footprints larger than the 8K-entry BTB (§1, §2.3), split
+//     into hot loop kernels, a shared "library" pool with highly variable
+//     reuse, and a long cold tail (init/error/rare paths);
+//   - phase behaviour: execution loops inside one kernel for a while and
+//     then migrates, which makes a branch's transient reuse distance vary
+//     far more than its holistic average (Fig 5);
+//   - hot branches dominating dynamic executions (~90%, Fig 7) while being
+//     only ~half of the static footprint (Fig 6);
+//   - call/return structure (exercising the RAS), indirect branches
+//     (exercising the IBTB), and per-branch direction bias;
+//   - an instruction code footprint that determines I-cache/L2 pressure
+//     (verilator's multi-megabyte generated code gives it the outlier
+//     L2iMPKI of Fig 3).
+//
+// Generation is fully deterministic given (app seed, input index). Input
+// indices model the paper's different application inputs (Fig 13): the
+// static code layout and kernel structure are derived from the app seed
+// only, while dynamic interleaving, kernel weights, cold-path selection,
+// and indirect-target distributions also depend on the input index.
+package workload
+
+import (
+	"fmt"
+
+	"thermometer/internal/btb"
+	"thermometer/internal/trace"
+	"thermometer/internal/xrand"
+)
+
+// AppSpec parameterizes one synthetic application.
+type AppSpec struct {
+	// Name is the application name as used in the paper's figures.
+	Name string
+	// Seed fixes the app's static structure.
+	Seed uint64
+
+	// HotBranches is the number of static branches in loop kernels.
+	HotBranches int
+	// WarmBranches is the size of the shared library pool.
+	WarmBranches int
+	// ColdBranches is the size of the cold tail.
+	ColdBranches int
+
+	// Kernels is the number of loop kernels the hot pool is split into;
+	// HotBranches/Kernels is the inner-loop body size.
+	Kernels int
+	// LoopsPerPhase is the mean number of times a phase iterates its
+	// kernel before execution migrates to another kernel. High values
+	// (10+) make kernel branches "hot" (short in-phase reuse, high
+	// hit-to-taken under OPT); a value of 1 models verilator-style long
+	// code sweeps that revisit each branch only after the whole multi-MB
+	// pass.
+	LoopsPerPhase int
+	// WarmCallRate is the probability per kernel slot of calling into a
+	// library function that emits warm branches.
+	WarmCallRate float64
+	// ColdRate is the probability per kernel slot of executing a cold
+	// path.
+	ColdRate float64
+	// TakenBias is the mean taken-probability of conditional branches.
+	TakenBias float64
+	// IndirectFrac is the fraction of kernel/library branches that are
+	// indirect jumps or calls.
+	IndirectFrac float64
+	// CodeFootprint is the approximate byte span of the program text; it
+	// drives I-cache and L2 instruction pressure.
+	CodeFootprint uint64
+	// MeanBlockLen is the mean basic-block length in instructions.
+	MeanBlockLen int
+	// Length is the number of branch records per generated trace.
+	Length int
+}
+
+// Validate reports obviously broken parameters.
+func (s AppSpec) Validate() error {
+	switch {
+	case s.Name == "":
+		return fmt.Errorf("workload: empty name")
+	case s.HotBranches < s.Kernels || s.Kernels <= 0:
+		return fmt.Errorf("workload %s: need >= 1 hot branch per kernel", s.Name)
+	case s.WarmBranches <= 8:
+		return fmt.Errorf("workload %s: warm pool too small", s.Name)
+	case s.ColdBranches <= 0 || s.Length <= 0 || s.LoopsPerPhase <= 0:
+		return fmt.Errorf("workload %s: non-positive size parameter", s.Name)
+	case s.MeanBlockLen <= 0 || s.CodeFootprint == 0:
+		return fmt.Errorf("workload %s: bad code shape parameters", s.Name)
+	}
+	return nil
+}
+
+// staticBranch is one branch site in the synthetic program.
+type staticBranch struct {
+	pc       uint64
+	target   uint64 // primary taken target (direct branches)
+	typ      trace.BranchType
+	bias     float64  // taken probability for conditionals
+	targets  []uint64 // alternative targets for indirect branches
+	blockLen int      // mean fallthrough block length
+}
+
+// program is the static structure generated from the app seed.
+type program struct {
+	spec    AppSpec
+	kernels [][]*staticBranch // per kernel: ordered hot branch sequence
+	warm    []*staticBranch
+	cold    []*staticBranch
+	// warmFns groups warm branches into callable "library functions".
+	warmFns [][]*staticBranch
+	// regions records each code region's [start, end) address range for
+	// the init-phase sequential code walk.
+	regions [][2]uint64
+}
+
+// buildProgram lays out the synthetic program text deterministically from
+// the app seed.
+//
+// Code layout matters as much as branch behaviour: real binaries keep a
+// loop kernel's code contiguous, so iterating it touches a few KB of
+// I-cache, while the *total* footprint (all kernels, libraries, cold
+// paths) spans megabytes. We therefore lay the program out as regions —
+// one per kernel, one per library function, cold code in chunks — placed
+// in shuffled order across the CodeFootprint span with padding gaps.
+// x86-style variable instruction sizes give PCs with varied low bits, so
+// the BTB's modulo set indexing spreads them (§4.2's hash discussion).
+func buildProgram(s AppSpec) *program {
+	r := xrand.New(s.Seed ^ 0xB7E151628AED2A6B)
+	p := &program{spec: s}
+
+	mkBranch := func(hot bool) *staticBranch {
+		b := &staticBranch{blockLen: 1 + r.Geometric(1.0/float64(s.MeanBlockLen))}
+		roll := r.Float64()
+		indirect := r.Bool(s.IndirectFrac)
+		switch {
+		case indirect && roll < 0.5:
+			b.typ = trace.IndirectJump
+		case indirect:
+			b.typ = trace.IndirectCall
+		case roll < 0.62:
+			b.typ = trace.CondDirect
+		case roll < 0.78:
+			b.typ = trace.UncondDirect
+		case roll < 0.90:
+			b.typ = trace.Call
+		default:
+			b.typ = trace.Return
+		}
+		// Direction bias. Real conditional branches are mostly
+		// deterministic (loop back-edges, guard clauses); only a small
+		// minority are data-dependent coin flips. The mixture below gives
+		// TAGE a realistic ~2-5 MPKI.
+		roll2 := r.Float64()
+		switch {
+		case roll2 < 0.48: // strongly taken (loop back-edges)
+			b.bias = 0.97 + 0.025*r.Float64()
+		case roll2 < 0.75: // strongly not-taken (error guards)
+			b.bias = 0.005 + 0.025*r.Float64()
+		case roll2 < 0.96: // biased
+			if r.Bool(0.5) {
+				b.bias = 0.90 + 0.07*r.Float64()
+			} else {
+				b.bias = 0.03 + 0.07*r.Float64()
+			}
+		default: // data-dependent
+			b.bias = 0.35 + 0.3*r.Float64()
+		}
+		b.bias = clamp01(b.bias*(s.TakenBias/0.6), 0.005, 0.995)
+		return b
+	}
+
+	make1 := func(n int, hot bool) []*staticBranch {
+		out := make([]*staticBranch, n)
+		for i := range out {
+			out[i] = mkBranch(hot)
+		}
+		return out
+	}
+	hot := make1(s.HotBranches, true)
+	p.warm = make1(s.WarmBranches, false)
+	p.cold = make1(s.ColdBranches, false)
+
+	// Cold branches are mostly unconditional continuations of rare paths;
+	// force them taken-leaning so they actually access the BTB when hit.
+	for _, b := range p.cold {
+		if b.typ == trace.CondDirect {
+			b.bias = clamp01(b.bias+0.3, 0.05, 0.98)
+		}
+	}
+
+	// Split hot branches into kernels. Each kernel's slot order is fixed:
+	// loop bodies execute in a stable order, which is what gives hot
+	// branches their short, regular in-phase reuse distances.
+	p.kernels = make([][]*staticBranch, s.Kernels)
+	per := len(hot) / s.Kernels
+	for k := 0; k < s.Kernels; k++ {
+		lo := k * per
+		hi := lo + per
+		if k == s.Kernels-1 {
+			hi = len(hot)
+		}
+		p.kernels[k] = hot[lo:hi]
+	}
+
+	// Group warm branches into library functions of 2–6 branches.
+	for i := 0; i < len(p.warm); {
+		n := 2 + r.Intn(5)
+		if i+n > len(p.warm) {
+			n = len(p.warm) - i
+		}
+		p.warmFns = append(p.warmFns, p.warm[i:i+n])
+		i += n
+	}
+
+	// --- Layout: regions in shuffled order across the footprint. ---
+	var regions [][]*staticBranch
+	regions = append(regions, p.kernels...)
+	regions = append(regions, p.warmFns...)
+	for i := 0; i < len(p.cold); i += 32 {
+		hi := i + 32
+		if hi > len(p.cold) {
+			hi = len(p.cold)
+		}
+		regions = append(regions, p.cold[i:hi])
+	}
+	order := r.Perm(len(regions))
+
+	// Estimate code bytes: each branch is preceded by its basic block
+	// (~4 bytes per instruction).
+	total := s.HotBranches + s.WarmBranches + s.ColdBranches
+	codeBytes := uint64(total) * uint64(4*(s.MeanBlockLen+1))
+	span := s.CodeFootprint
+	if span < codeBytes+uint64(len(regions)*16) {
+		span = codeBytes + uint64(len(regions)*16)
+	}
+	gapBudget := span - codeBytes
+	gapPer := gapBudget / uint64(len(regions)+1)
+
+	base := uint64(0x400000)
+	pc := base
+	for _, ri := range order {
+		reg := regions[ri]
+		pc += gapPer/2 + uint64(r.Uint64n(gapPer+1))
+		regionStart := pc
+		for _, b := range reg {
+			pc += uint64(4*b.blockLen) + uint64(3+r.Intn(5))
+			b.pc = pc
+		}
+		regionEnd := pc
+		p.regions = append(p.regions, [2]uint64{regionStart, regionEnd})
+		// Targets: loop-local control flow within the region, with an
+		// occasional far target (cross-module call/tail-jump).
+		regionSpan := regionEnd - regionStart
+		if regionSpan < 8 {
+			regionSpan = 8
+		}
+		for _, b := range reg {
+			if r.Bool(0.02) {
+				// Rare far target (cross-module tail call). Real programs
+				// concentrate these on a small set of entry points, so
+				// quantize to 4KB page starts to bound the I-side
+				// footprint they add.
+				b.target = base + 16 + (uint64(r.Uint64n(span)) &^ 0xfff)
+			} else {
+				b.target = regionStart + uint64(r.Uint64n(regionSpan))
+			}
+			if b.typ.IsIndirect() && b.typ != trace.Return {
+				n := 2 + r.Intn(7)
+				b.targets = make([]uint64, n)
+				for i := range b.targets {
+					if r.Bool(0.8) {
+						b.targets[i] = regionStart + uint64(r.Uint64n(regionSpan))
+					} else {
+						b.targets[i] = base + 16 + (uint64(r.Uint64n(span)) &^ 0xfff)
+					}
+				}
+			}
+		}
+	}
+	return p
+}
+
+func clamp01(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// Generate produces the trace for one input index. Input 0 is the paper's
+// training input (§4.1); inputs 1–3 are the test inputs of Fig 13.
+func (s AppSpec) Generate(input int) *trace.Trace {
+	if err := s.Validate(); err != nil {
+		panic(err)
+	}
+	p := buildProgram(s)
+	return p.emit(input)
+}
+
+// emitState carries the dynamic generation state.
+type emitState struct {
+	r  *xrand.RNG
+	tr *trace.Trace
+	// ras mirrors the simulated CPU's return address stack exactly (same
+	// capacity, same circular-overwrite semantics), so the generated
+	// return targets are the ones a well-behaved program would produce
+	// and RAS mispredictions stay rare, as in real applications.
+	ras *btb.RAS
+}
+
+func (p *program) emit(input int) *trace.Trace {
+	s := p.spec
+	r := xrand.New(s.Seed ^ xrand.Mix64(uint64(input)+0x5851F42D4C957F2D))
+	st := &emitState{
+		r:   r,
+		tr:  &trace.Trace{Name: fmt.Sprintf("%s#%d", s.Name, input)},
+		ras: btb.NewRAS(32),
+	}
+	st.tr.Records = make([]trace.Record, 0, s.Length+64)
+
+	// Per-input kernel weighting: different inputs exercise kernels with
+	// different intensity (different request mixes), which is what keeps
+	// most — but not all — branch temperatures stable across inputs.
+	weights := make([]float64, s.Kernels)
+	for i := range weights {
+		weights[i] = 0.3 + r.Float64()
+	}
+	// Per-input warm sampling skew. The strong skew makes library usage
+	// bimodal — a hot head that is effectively resident and a streaming
+	// tail — matching the cliff shape of the paper's Fig 6 distribution.
+	warmZipf := xrand.NewZipf(len(p.warmFns), 1.25+0.15*r.Float64())
+	// Per-input cold path ordering.
+	coldOrder := r.Perm(len(p.cold))
+	coldNext := 0
+	coldRepeat := []*staticBranch{} // recently touched cold paths, may recur
+
+	// emitInjections interleaves library calls and cold paths between
+	// kernel branches.
+	emitInjections := func(fromPC uint64) {
+		if st.r.Bool(s.WarmCallRate) {
+			fn := p.warmFns[warmZipf.Sample(st.r)]
+			st.emitCall(fromPC, fn)
+		}
+		// Cold path: a short burst of cold branches, occasionally re-run
+		// shortly after (so cold reuse distances are bimodal rather than
+		// purely infinite).
+		if st.r.Bool(s.ColdRate) {
+			var burst []*staticBranch
+			if len(coldRepeat) > 0 && st.r.Bool(0.05) {
+				burst = coldRepeat
+			} else {
+				n := 1 + st.r.Intn(4)
+				for i := 0; i < n; i++ {
+					burst = append(burst, p.cold[coldOrder[coldNext]])
+					coldNext++
+					if coldNext >= len(coldOrder) {
+						coldNext = 0 // cold tail wraps: very long reuse
+					}
+				}
+				coldRepeat = append(coldRepeat[:0], burst...)
+			}
+			for _, cb := range burst {
+				st.emitBranch(cb)
+			}
+		}
+	}
+
+	// Initialization phase: real programs execute start-up code that
+	// touches libraries and rare paths once (loaders relocating text,
+	// class loading, config parsing, JIT warming). This brings the code
+	// footprint into the memory hierarchy so that later cold-path
+	// excursions pay LLC/L2 latency rather than compulsory DRAM latency.
+	// It happens inside the simulator's warmup window.
+	if s.Length > 4*(len(p.warm)+len(p.cold)) {
+		// Sequential walk over every code region: not-taken conditionals
+		// whose fall-through blocks tile the region (never-taken branches
+		// do not enter the BTB working set).
+		const walkBlock = 24 // instructions per walk record (~100B of code)
+		for _, reg := range p.regions {
+			for pc := reg[0]; pc < reg[1]; pc += 4 * (walkBlock + 1) {
+				st.tr.Records = append(st.tr.Records, trace.Record{
+					PC: pc, Type: trace.CondDirect, Taken: false, BlockLen: walkBlock,
+				})
+			}
+		}
+		// Then exercise libraries and rare paths once.
+		for _, fn := range p.warmFns {
+			st.emitCall(fn[0].pc+16, fn)
+		}
+		for _, cb := range p.cold {
+			st.emitBranch(cb)
+		}
+	}
+
+	for len(st.tr.Records) < s.Length {
+		// Pick the phase's kernel by per-input weight.
+		kernel := 0
+		x := st.r.Float64() * sum(weights)
+		for i, w := range weights {
+			if x < w {
+				kernel = i
+				break
+			}
+			x -= w
+		}
+		k := p.kernels[kernel]
+		loops := 1
+		if s.LoopsPerPhase > 1 {
+			loops = s.LoopsPerPhase/2 + 1 + st.r.Intn(s.LoopsPerPhase)
+		}
+		for l := 0; l < loops && len(st.tr.Records) < s.Length; l++ {
+			for _, b := range k {
+				st.emitBranch(b)
+				emitInjections(b.pc)
+				if len(st.tr.Records) >= s.Length {
+					break
+				}
+			}
+		}
+	}
+	st.tr.Records = st.tr.Records[:s.Length]
+	return st.tr
+}
+
+func sum(xs []float64) float64 {
+	t := 0.0
+	for _, x := range xs {
+		t += x
+	}
+	return t
+}
+
+// emitBranch appends one dynamic instance of b.
+func (st *emitState) emitBranch(b *staticBranch) {
+	rec := trace.Record{
+		PC:       b.pc,
+		Type:     b.typ,
+		BlockLen: st.blockLen(b),
+	}
+	switch b.typ {
+	case trace.CondDirect:
+		rec.Taken = st.r.Bool(b.bias)
+		if rec.Taken {
+			rec.Target = b.target
+		}
+	case trace.UncondDirect:
+		rec.Taken = true
+		rec.Target = b.target
+	case trace.Call:
+		rec.Taken = true
+		rec.Target = b.target
+		st.ras.Push(b.pc + 5)
+	case trace.Return:
+		rec.Taken = true
+		rec.Target = st.popRet(b.target)
+	case trace.IndirectJump, trace.IndirectCall:
+		rec.Taken = true
+		rec.Target = b.targets[st.pickTarget(len(b.targets))]
+		if b.typ == trace.IndirectCall {
+			st.ras.Push(b.pc + 6)
+		}
+	}
+	st.tr.Records = append(st.tr.Records, rec)
+}
+
+// emitCall emits a matched call / library body / return sequence. The call
+// site sits a couple of bytes past the kernel branch (a distinct PC) and
+// pushes callPC+5, exactly what the simulated RAS will push.
+func (st *emitState) emitCall(fromPC uint64, fn []*staticBranch) {
+	entry := fn[0]
+	callPC := fromPC + 2
+	st.tr.Records = append(st.tr.Records, trace.Record{
+		PC: callPC, Target: entry.pc &^ 1, Taken: true,
+		Type: trace.Call, BlockLen: st.blockLen(entry),
+	})
+	st.ras.Push(callPC + 5)
+	for _, b := range fn {
+		if b.typ == trace.Return {
+			continue // the function's single return is emitted below
+		}
+		st.emitBranch(b)
+	}
+	st.tr.Records = append(st.tr.Records, trace.Record{
+		PC: fn[len(fn)-1].pc + 7, Target: st.popRet(callPC + 5), Taken: true,
+		Type: trace.Return, BlockLen: st.blockLen(entry),
+	})
+}
+
+func (st *emitState) blockLen(b *staticBranch) uint16 {
+	n := b.blockLen + st.r.Intn(3) - 1
+	if n < 1 {
+		n = 1
+	}
+	if n > 255 {
+		n = 255
+	}
+	return uint16(n)
+}
+
+// pickTarget samples an indirect-target index: indirect branches in real
+// code (virtual calls, switch dispatch) are strongly monomorphic per site.
+func (st *emitState) pickTarget(n int) int {
+	if st.r.Bool(0.92) {
+		return 0
+	}
+	return st.r.Intn(n)
+}
+
+// popRet predicts the return target from the mirrored RAS, falling back to
+// the branch's static target on underflow (a program returning past the
+// traced window's call depth).
+func (st *emitState) popRet(fallback uint64) uint64 {
+	if v, ok := st.ras.Pop(); ok {
+		return v
+	}
+	return fallback
+}

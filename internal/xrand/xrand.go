@@ -1,0 +1,205 @@
+// Package xrand provides a small, fast, deterministic pseudo-random number
+// generator used throughout the simulator and the synthetic workload
+// generators.
+//
+// The standard library's math/rand does not guarantee a stable value stream
+// across Go releases, which would make golden tests and recorded experiment
+// results fragile. xrand implements SplitMix64 (for seeding and cheap
+// stateless mixing) and xoshiro256**, whose output sequences are fixed by
+// their published reference algorithms.
+package xrand
+
+import (
+	"math"
+	"math/bits"
+)
+
+// SplitMix64 advances the given state and returns the next value of the
+// SplitMix64 sequence. It is useful both as a standalone generator for
+// stateless hashing of small integers and as the seeding procedure for RNG.
+func SplitMix64(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Mix64 returns a well-mixed hash of x. It is the finalizer of SplitMix64
+// and is suitable for hashing PCs, set indices, and similar small keys.
+func Mix64(x uint64) uint64 {
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// RNG is a xoshiro256** generator. The zero value is not a valid generator;
+// use New.
+type RNG struct {
+	s [4]uint64
+}
+
+// New returns a generator seeded from seed via SplitMix64, per the xoshiro
+// authors' recommendation. Distinct seeds yield uncorrelated streams.
+func New(seed uint64) *RNG {
+	var r RNG
+	sm := seed
+	for i := range r.s {
+		r.s[i] = SplitMix64(&sm)
+	}
+	// xoshiro256** requires a nonzero state; SplitMix64 of any seed yields
+	// all-zero state with probability ~2^-256, but guard anyway.
+	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
+		r.s[0] = 1
+	}
+	return &r
+}
+
+// Uint64 returns the next value in the stream.
+func (r *RNG) Uint64() uint64 {
+	result := bits.RotateLeft64(r.s[1]*5, 7) * 9
+	t := r.s[1] << 17
+	r.s[2] ^= r.s[0]
+	r.s[3] ^= r.s[1]
+	r.s[1] ^= r.s[2]
+	r.s[0] ^= r.s[3]
+	r.s[2] ^= t
+	r.s[3] = bits.RotateLeft64(r.s[3], 45)
+	return result
+}
+
+// Intn returns a uniformly distributed integer in [0, n). It panics if
+// n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("xrand: Intn with non-positive n")
+	}
+	return int(r.Uint64n(uint64(n)))
+}
+
+// Uint64n returns a uniformly distributed value in [0, n) using Lemire's
+// multiply-shift rejection method. It panics if n == 0.
+func (r *RNG) Uint64n(n uint64) uint64 {
+	if n == 0 {
+		panic("xrand: Uint64n with zero n")
+	}
+	// Lemire's method: multiply-high with rejection of the biased region.
+	hi, lo := bits.Mul64(r.Uint64(), n)
+	if lo < n {
+		thresh := -n % n
+		for lo < thresh {
+			hi, lo = bits.Mul64(r.Uint64(), n)
+		}
+	}
+	return hi
+}
+
+// Float64 returns a uniformly distributed value in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) * (1.0 / (1 << 53))
+}
+
+// Bool returns true with probability p (clamped to [0,1]).
+func (r *RNG) Bool(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return r.Float64() < p
+}
+
+// Geometric returns a geometrically distributed integer >= 1 with mean
+// approximately 1/p for small p. Used for run lengths and reuse gaps.
+func (r *RNG) Geometric(p float64) int {
+	if p >= 1 {
+		return 1
+	}
+	if p <= 0 {
+		panic("xrand: Geometric with non-positive p")
+	}
+	n := 1
+	for !r.Bool(p) {
+		n++
+		if n >= 1<<20 { // statistical safety bound
+			break
+		}
+	}
+	return n
+}
+
+// Perm fills a permutation of [0, n) using the Fisher-Yates shuffle.
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// Zipf samples from a Zipf-like distribution over [0, n) with skew s > 0
+// using inverse-CDF on a harmonic approximation. Larger s concentrates
+// probability mass on small indices. It is deterministic given the RNG
+// state and reasonably fast for the generator's purposes.
+type Zipf struct {
+	n   int
+	cdf []float64
+}
+
+// NewZipf precomputes the CDF for a Zipf distribution of n elements with
+// exponent s. It panics if n <= 0 or s < 0.
+func NewZipf(n int, s float64) *Zipf {
+	if n <= 0 {
+		panic("xrand: NewZipf with non-positive n")
+	}
+	if s < 0 {
+		panic("xrand: NewZipf with negative s")
+	}
+	cdf := make([]float64, n)
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += 1.0 / pow(float64(i+1), s)
+		cdf[i] = sum
+	}
+	inv := 1.0 / sum
+	for i := range cdf {
+		cdf[i] *= inv
+	}
+	return &Zipf{n: n, cdf: cdf}
+}
+
+// N returns the number of elements in the distribution's support.
+func (z *Zipf) N() int { return z.n }
+
+// Sample draws an index in [0, n) from the distribution.
+func (z *Zipf) Sample(r *RNG) int {
+	u := r.Float64()
+	// Binary search the CDF.
+	lo, hi := 0, z.n-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cdf[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// pow wraps math.Pow with fast paths for the common exponents used when
+// precomputing Zipf CDFs.
+func pow(x, y float64) float64 {
+	switch y {
+	case 0:
+		return 1
+	case 1:
+		return x
+	}
+	return math.Pow(x, y)
+}

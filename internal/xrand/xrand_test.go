@@ -1,0 +1,185 @@
+package xrand
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSplitMix64KnownValues(t *testing.T) {
+	// Reference values for SplitMix64 seeded with 0 (from the published
+	// reference implementation).
+	state := uint64(0)
+	want := []uint64{
+		0xe220a8397b1dcdaf,
+		0x6e789e6aa1b965f4,
+		0x06c45d188009454f,
+	}
+	for i, w := range want {
+		if got := SplitMix64(&state); got != w {
+			t.Fatalf("SplitMix64 output %d = %#x, want %#x", i, got, w)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if av, bv := a.Uint64(), b.Uint64(); av != bv {
+			t.Fatalf("streams diverged at %d: %#x vs %#x", i, av, bv)
+		}
+	}
+	c := New(43)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("streams for different seeds agree %d/1000 times", same)
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	r := New(1)
+	for _, n := range []int{1, 2, 3, 7, 100, 1 << 20} {
+		for i := 0; i < 200; i++ {
+			v := r.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestUint64nUniform(t *testing.T) {
+	r := New(7)
+	const n, samples = 10, 100000
+	var counts [n]int
+	for i := 0; i < samples; i++ {
+		counts[r.Uint64n(n)]++
+	}
+	want := samples / n
+	for i, c := range counts {
+		if c < want*8/10 || c > want*12/10 {
+			t.Errorf("bucket %d count %d deviates >20%% from %d", i, c, want)
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(9)
+	sum := 0.0
+	const samples = 100000
+	for i := 0; i < samples; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64() = %v out of [0,1)", f)
+		}
+		sum += f
+	}
+	if mean := sum / samples; math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("Float64 mean = %v, want ~0.5", mean)
+	}
+}
+
+func TestBoolExtremes(t *testing.T) {
+	r := New(3)
+	for i := 0; i < 100; i++ {
+		if r.Bool(0) {
+			t.Fatal("Bool(0) returned true")
+		}
+		if !r.Bool(1) {
+			t.Fatal("Bool(1) returned false")
+		}
+	}
+}
+
+func TestGeometricMean(t *testing.T) {
+	r := New(5)
+	const p, samples = 0.1, 50000
+	sum := 0
+	for i := 0; i < samples; i++ {
+		sum += r.Geometric(p)
+	}
+	mean := float64(sum) / samples
+	if mean < 8.5 || mean > 11.5 {
+		t.Fatalf("Geometric(0.1) mean = %v, want ~10", mean)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := New(11)
+	f := func(nRaw uint8) bool {
+		n := int(nRaw%64) + 1
+		p := r.Perm(n)
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	r := New(13)
+	z := NewZipf(100, 1.0)
+	var counts [100]int
+	const samples = 100000
+	for i := 0; i < samples; i++ {
+		counts[z.Sample(r)]++
+	}
+	// Rank 0 should dominate rank 50 by roughly 50x for s=1.
+	if counts[0] < counts[50]*10 {
+		t.Fatalf("Zipf not skewed: rank0=%d rank50=%d", counts[0], counts[50])
+	}
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if total != samples {
+		t.Fatalf("samples leaked: %d != %d", total, samples)
+	}
+}
+
+func TestZipfZeroSkewUniform(t *testing.T) {
+	r := New(17)
+	z := NewZipf(10, 0)
+	var counts [10]int
+	const samples = 50000
+	for i := 0; i < samples; i++ {
+		counts[z.Sample(r)]++
+	}
+	for i, c := range counts {
+		if c < samples/10*8/10 || c > samples/10*12/10 {
+			t.Errorf("uniform Zipf bucket %d = %d, want ~%d", i, c, samples/10)
+		}
+	}
+}
+
+func TestMix64Distinct(t *testing.T) {
+	seen := make(map[uint64]bool)
+	for i := uint64(0); i < 10000; i++ {
+		h := Mix64(i)
+		if seen[h] {
+			t.Fatalf("Mix64 collision at %d", i)
+		}
+		seen[h] = true
+	}
+}

@@ -1,0 +1,134 @@
+package thermometer_test
+
+import (
+	"bytes"
+	"testing"
+
+	"thermometer"
+)
+
+// TestPublicAPIEndToEnd exercises the full workflow through the public
+// facade only, the way a downstream user would.
+func TestPublicAPIEndToEnd(t *testing.T) {
+	spec, ok := thermometer.App("kafka")
+	if !ok {
+		t.Fatal("App lookup failed")
+	}
+	spec.Length /= 8
+
+	train := spec.Generate(0)
+	if train.Len() != spec.Length {
+		t.Fatalf("trace length %d", train.Len())
+	}
+
+	// Trace round trip through the binary format.
+	var buf bytes.Buffer
+	if err := thermometer.WriteTrace(&buf, train); err != nil {
+		t.Fatal(err)
+	}
+	back, err := thermometer.ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != train.Len() {
+		t.Fatal("trace round trip lost records")
+	}
+
+	// Profile.
+	hints, opt, err := thermometer.Profile(train, 8192, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hints.Len() == 0 || opt.HitRate() <= 0 {
+		t.Fatalf("profile empty: %d hints, %v hit rate", hints.Len(), opt.HitRate())
+	}
+
+	// Hints round trip.
+	buf.Reset()
+	if err := hints.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	hints2, err := thermometer.ReadHints(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hints2.Len() != hints.Len() {
+		t.Fatal("hints round trip lost entries")
+	}
+
+	// Simulate on a held-out input.
+	test := spec.Generate(1)
+	lru := thermometer.Simulate(test, thermometer.DefaultConfig())
+	cfg := thermometer.DefaultConfig()
+	cfg.NewPolicy = thermometer.NewThermometerPolicy
+	cfg.Hints = hints2
+	therm := thermometer.Simulate(test, cfg)
+	if therm.BTB.Misses >= lru.BTB.Misses {
+		t.Fatalf("hinted policy misses %d >= LRU %d", therm.BTB.Misses, lru.BTB.Misses)
+	}
+	if thermometer.Speedup(lru, therm) <= 0 {
+		t.Fatal("no speedup on held-out input")
+	}
+
+	// Coverage statistics are reachable through the facade.
+	tp, ok := therm.Policy.(*thermometer.ThermometerPolicy)
+	if !ok {
+		t.Fatal("policy type lost through facade")
+	}
+	if tp.Coverage() <= 0 {
+		t.Fatal("zero coverage")
+	}
+}
+
+func TestPublicAPIPolicyConstructors(t *testing.T) {
+	names := map[string]func() thermometer.Policy{
+		"LRU":         thermometer.NewLRUPolicy,
+		"SRRIP":       thermometer.NewSRRIPPolicy,
+		"GHRP":        thermometer.NewGHRPPolicy,
+		"Hawkeye":     thermometer.NewHawkeyePolicy,
+		"OPT":         thermometer.NewOPTPolicy,
+		"Thermometer": thermometer.NewThermometerPolicy,
+	}
+	for want, mk := range names {
+		if got := mk().Name(); got != want {
+			t.Errorf("constructor for %s returned %s", want, got)
+		}
+	}
+}
+
+func TestPublicAPISuites(t *testing.T) {
+	if thermometer.CBP5Count != 663 || thermometer.IPC1Count != 50 {
+		t.Fatalf("suite sizes %d/%d", thermometer.CBP5Count, thermometer.IPC1Count)
+	}
+	tr := thermometer.CBP5Trace(0)
+	if tr.Len() == 0 {
+		t.Fatal("empty CBP-5 trace")
+	}
+	tr = thermometer.IPC1Trace(0)
+	if tr.Len() == 0 {
+		t.Fatal("empty IPC-1 trace")
+	}
+	if len(thermometer.Apps()) != 13 || len(thermometer.AppNames()) != 13 {
+		t.Fatal("app roster wrong")
+	}
+}
+
+func TestPublicAPIPrefetchers(t *testing.T) {
+	spec, _ := thermometer.App("python")
+	spec.Length /= 16
+	tr := spec.Generate(0)
+	meta := thermometer.BuildMeta(tr)
+
+	for _, pf := range []thermometer.Prefetcher{
+		thermometer.NewConfluence(meta),
+		thermometer.NewShotgun(meta),
+		thermometer.TrainTwig(tr, thermometer.TwigConfig{}),
+	} {
+		cfg := thermometer.DefaultConfig()
+		cfg.Prefetcher = pf
+		r := thermometer.Simulate(tr, cfg)
+		if r.Cycles == 0 {
+			t.Errorf("%s: no cycles", pf.Name())
+		}
+	}
+}
