@@ -7,20 +7,42 @@
 //	btbsim -trace kafka0.trc                      # LRU baseline
 //	btbsim -trace kafka0.trc -policy thermometer -hints kafka.hints
 //	btbsim -trace kafka0.trc -policy opt -compare  # also run LRU, report speedup
+//
+// Telemetry (see the Observability section of README.md):
+//
+//	btbsim -trace kafka0.trc -epoch 100000 -metrics out.json   # epoch series
+//	btbsim -trace kafka0.trc -events out.trace.json            # Chrome trace
+//	btbsim -trace kafka0.trc -epochcsv epochs.csv              # CSV series
+//	btbsim -trace kafka0.trc -http :6060                       # live expvar/pprof
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/debug"
+	"sort"
+	"strings"
 
 	"thermometer/internal/bpred"
 	"thermometer/internal/btb"
 	"thermometer/internal/core"
 	"thermometer/internal/policy"
 	"thermometer/internal/profile"
+	"thermometer/internal/telemetry"
 	"thermometer/internal/trace"
 )
+
+// version identifies the simulator build in run manifests; the VCS revision
+// (when built from a checkout) is appended from debug.ReadBuildInfo.
+const version = "1.1.0"
+
+func policyNames() []string {
+	names := []string{"lru", "random", "srrip", "ghrp", "hawkeye", "opt", "thermometer", "holistic"}
+	sort.Strings(names)
+	return names
+}
 
 func policyByName(name string) (func() btb.Policy, bool) {
 	switch name {
@@ -45,10 +67,22 @@ func policyByName(name string) (func() btb.Policy, bool) {
 	}
 }
 
+func buildString() string {
+	s := version + " go=" + runtime.Version()
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		for _, kv := range bi.Settings {
+			if kv.Key == "vcs.revision" && len(kv.Value) >= 12 {
+				s += " rev=" + kv.Value[:12]
+			}
+		}
+	}
+	return s
+}
+
 func main() {
 	var (
 		tracePath = flag.String("trace", "", "input trace file (required)")
-		polName   = flag.String("policy", "lru", "replacement policy: lru, random, srrip, ghrp, hawkeye, opt, thermometer, holistic")
+		polName   = flag.String("policy", "lru", "replacement policy: "+strings.Join(policyNames(), ", "))
 		hintsPath = flag.String("hints", "", "Thermometer hint file (from thermprof)")
 		entries   = flag.Int("entries", 8192, "BTB entries")
 		ways      = flag.Int("ways", 4, "BTB ways")
@@ -56,10 +90,34 @@ func main() {
 		predictor = flag.String("predictor", "tage", "direction predictor: tage, perceptron, gshare, bimodal")
 		twoLevel  = flag.Bool("twolevel", false, "use a 1K+8K two-level BTB organization")
 		compare   = flag.Bool("compare", false, "also run the LRU baseline and report speedup")
+
+		metricsPath  = flag.String("metrics", "", "write telemetry report (counters, histograms, epoch series) as JSON")
+		eventsPath   = flag.String("events", "", "write BTB/redirect event trace as Chrome trace_event JSON")
+		epochCSVPath = flag.String("epochcsv", "", "write the epoch time series as CSV")
+		epoch        = flag.Uint64("epoch", 100000, "epoch length in instructions for the telemetry time series")
+		eventCap     = flag.Int("eventcap", 1<<20, "event tracer ring-buffer capacity (retains the last N events)")
+		httpAddr     = flag.String("http", "", "serve live telemetry, expvar, and pprof on this address (e.g. :6060)")
+		showVersion  = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
+	if *showVersion {
+		fmt.Printf("btbsim %s\n", buildString())
+		return
+	}
+	if args := flag.Args(); len(args) > 0 {
+		fatalf("unexpected arguments %q (all inputs are flags; see -h)", args)
+	}
 	if *tracePath == "" {
 		fatalf("need -trace")
+	}
+	if *entries <= 0 || *ways <= 0 || *entries < *ways {
+		fatalf("invalid BTB geometry: %d entries / %d ways", *entries, *ways)
+	}
+	if *ftq <= 0 {
+		fatalf("invalid FTQ capacity %d", *ftq)
+	}
+	if *epoch == 0 {
+		fatalf("-epoch must be positive")
 	}
 
 	f, err := os.Open(*tracePath)
@@ -69,12 +127,15 @@ func main() {
 	tr, err := trace.Read(f)
 	f.Close()
 	if err != nil {
-		fatalf("read trace: %v", err)
+		fatalf("read trace %s: %v", *tracePath, err)
+	}
+	if err := tr.Validate(); err != nil {
+		fatalf("invalid trace %s: %v", *tracePath, err)
 	}
 
 	newPolicy, ok := policyByName(*polName)
 	if !ok {
-		fatalf("unknown policy %q", *polName)
+		fatalf("unknown policy %q (choose one of: %s)", *polName, strings.Join(policyNames(), ", "))
 	}
 
 	cfg := core.DefaultConfig()
@@ -95,7 +156,7 @@ func main() {
 	case "bimodal":
 		cfg.NewPredictor = func() bpred.Predictor { return bpred.NewBimodal(16) }
 	default:
-		fatalf("unknown predictor %q", *predictor)
+		fatalf("unknown predictor %q (choose one of: tage, perceptron, gshare, bimodal)", *predictor)
 	}
 	if *hintsPath != "" {
 		hf, err := os.Open(*hintsPath)
@@ -105,10 +166,59 @@ func main() {
 		ht, err := profile.ReadHints(hf)
 		hf.Close()
 		if err != nil {
-			fatalf("read hints: %v", err)
+			fatalf("read hints %s: %v", *hintsPath, err)
 		}
 		cfg.Hints = ht
+		if *polName != "thermometer" && *polName != "holistic" {
+			fmt.Fprintf(os.Stderr, "btbsim: warning: -hints given but policy %q ignores temperature hints\n", *polName)
+		}
 	}
+
+	// Attach the observer when any telemetry sink is requested.
+	var obs *telemetry.Observer
+	if *metricsPath != "" || *eventsPath != "" || *epochCSVPath != "" || *httpAddr != "" {
+		opts := telemetry.Options{EpochInterval: *epoch}
+		if *eventsPath != "" || *httpAddr != "" {
+			opts.EventCap = *eventCap
+		}
+		obs = telemetry.New(opts)
+		cfg.Observer = obs
+	}
+	if *httpAddr != "" {
+		bound, shutdown, err := obs.Serve(*httpAddr)
+		if err != nil {
+			fatalf("telemetry http: %v", err)
+		}
+		defer shutdown()
+		fmt.Printf("telemetry: serving /metrics, /debug/vars, /debug/pprof on %s\n", bound)
+	}
+
+	// Run manifest: everything needed to reproduce this run from the log.
+	manifest := map[string]string{
+		"version":   buildString(),
+		"trace":     tr.Name,
+		"tracefile": *tracePath,
+		"records":   fmt.Sprintf("%d", tr.Len()),
+		"policy":    *polName,
+		"entries":   fmt.Sprintf("%d", *entries),
+		"ways":      fmt.Sprintf("%d", *ways),
+		"ftq":       fmt.Sprintf("%d", *ftq),
+		"predictor": *predictor,
+		"twolevel":  fmt.Sprintf("%v", *twoLevel),
+		"hints":     *hintsPath,
+		"warmup":    fmt.Sprintf("%g", cfg.WarmupFrac),
+		"epoch":     fmt.Sprintf("%d", *epoch),
+	}
+	keys := make([]string, 0, len(manifest))
+	for k := range manifest {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, 0, len(keys))
+	for _, k := range keys {
+		parts = append(parts, fmt.Sprintf("%s=%s", k, manifest[k]))
+	}
+	fmt.Printf("manifest: %s\n", strings.Join(parts, " "))
 
 	r := core.Run(tr, cfg)
 	fmt.Printf("trace %s, policy %s, BTB %d×%d\n", tr.Name, *polName, *entries, *ways)
@@ -125,15 +235,52 @@ func main() {
 			100*th.Coverage(), th.Bypasses)
 	}
 
+	if obs != nil {
+		writeSinks(obs, manifest, *metricsPath, *eventsPath, *epochCSVPath)
+	}
+
 	if *compare && *polName != "lru" {
 		base := core.Run(tr, func() core.Config {
 			c := cfg
 			c.NewPolicy = func() btb.Policy { return policy.NewLRU() }
 			c.Hints = nil
+			c.Observer = nil // telemetry describes the primary run only
 			return c
 		}())
 		fmt.Printf("  speedup over LRU: %.2f%% (LRU IPC %.3f)\n",
 			100*core.Speedup(base, r), base.IPC())
+	}
+}
+
+func writeSinks(obs *telemetry.Observer, manifest map[string]string, metricsPath, eventsPath, epochCSVPath string) {
+	writeFile := func(path, what string, write func(f *os.File) error) {
+		f, err := os.Create(path)
+		if err != nil {
+			fatalf("create %s: %v", what, err)
+		}
+		if err := write(f); err != nil {
+			f.Close()
+			fatalf("write %s: %v", what, err)
+		}
+		if err := f.Close(); err != nil {
+			fatalf("close %s: %v", what, err)
+		}
+		fmt.Printf("  telemetry: wrote %s to %s\n", what, path)
+	}
+	if metricsPath != "" {
+		writeFile(metricsPath, "metrics report", func(f *os.File) error {
+			return obs.WriteJSON(f, manifest)
+		})
+	}
+	if eventsPath != "" {
+		writeFile(eventsPath, "Chrome event trace", func(f *os.File) error {
+			return obs.Events.WriteChromeTrace(f)
+		})
+	}
+	if epochCSVPath != "" {
+		writeFile(epochCSVPath, "epoch CSV", func(f *os.File) error {
+			return obs.Epochs.WriteCSV(f)
+		})
 	}
 }
 

@@ -5,6 +5,8 @@
 //
 //	paperfigs -exp fig11              # one experiment at full scale
 //	paperfigs -exp all -scale 4       # everything at quarter-length traces
+//	paperfigs -exp all -http :6060    # live expvar/pprof during the sweep
+//	paperfigs -exp all -metrics sweep.json
 //	paperfigs -list
 package main
 
@@ -16,15 +18,18 @@ import (
 	"time"
 
 	"thermometer/internal/experiments"
+	"thermometer/internal/telemetry"
 )
 
 func main() {
 	var (
-		exp   = flag.String("exp", "all", "experiment id (fig1..fig21, table1, all) or comma list")
-		scale = flag.Int("scale", 1, "divide trace lengths by this factor (1 = paper scale)")
-		cbp5  = flag.Int("cbp5", 0, "limit the number of CBP-5 traces (0 = all 663)")
-		ipc1  = flag.Int("ipc1", 0, "limit the number of IPC-1 traces (0 = all 50)")
-		list  = flag.Bool("list", false, "list experiments and exit")
+		exp     = flag.String("exp", "all", "experiment id (fig1..fig21, table1, all) or comma list")
+		scale   = flag.Int("scale", 1, "divide trace lengths by this factor (1 = paper scale)")
+		cbp5    = flag.Int("cbp5", 0, "limit the number of CBP-5 traces (0 = all 663)")
+		ipc1    = flag.Int("ipc1", 0, "limit the number of IPC-1 traces (0 = all 50)")
+		list    = flag.Bool("list", false, "list experiments and exit")
+		metrics = flag.String("metrics", "", "write sweep telemetry (per-experiment wall time, cache traffic) as JSON")
+		httpA   = flag.String("http", "", "serve live telemetry, expvar, and pprof on this address during the sweep")
 	)
 	flag.Parse()
 
@@ -34,10 +39,31 @@ func main() {
 		}
 		return
 	}
+	if args := flag.Args(); len(args) > 0 {
+		fmt.Fprintf(os.Stderr, "paperfigs: unexpected arguments %q\n", args)
+		os.Exit(1)
+	}
 
 	ctx := experiments.NewContext(*scale)
 	ctx.CBP5Traces = *cbp5
 	ctx.IPC1Traces = *ipc1
+
+	// Sweep telemetry: per-experiment wall time and trace/hint cache
+	// traffic land in the registry; -http makes it observable mid-sweep.
+	var obs *telemetry.Observer
+	if *metrics != "" || *httpA != "" {
+		obs = telemetry.New(telemetry.Options{})
+		ctx.Telemetry = obs.Metrics
+	}
+	if *httpA != "" {
+		bound, shutdown, err := obs.Serve(*httpA)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "paperfigs: telemetry http: %v\n", err)
+			os.Exit(1)
+		}
+		defer shutdown()
+		fmt.Printf("telemetry: serving /metrics, /debug/vars, /debug/pprof on %s\n", bound)
+	}
 
 	var ids []string
 	if *exp == "all" {
@@ -55,10 +81,34 @@ func main() {
 
 	for _, id := range ids {
 		start := time.Now()
-		tables := experiments.Registry[id](ctx)
+		tables := ctx.Run(id)
 		for _, t := range tables {
 			t.Render(os.Stdout)
 		}
 		fmt.Printf("[%s took %v]\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+
+	if *metrics != "" {
+		f, err := os.Create(*metrics)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "paperfigs: create metrics: %v\n", err)
+			os.Exit(1)
+		}
+		manifest := map[string]string{
+			"exp":   *exp,
+			"scale": fmt.Sprintf("%d", *scale),
+			"cbp5":  fmt.Sprintf("%d", *cbp5),
+			"ipc1":  fmt.Sprintf("%d", *ipc1),
+		}
+		if err := obs.WriteJSON(f, manifest); err != nil {
+			f.Close()
+			fmt.Fprintf(os.Stderr, "paperfigs: write metrics: %v\n", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "paperfigs: close metrics: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("telemetry: wrote sweep metrics to %s\n", *metrics)
 	}
 }

@@ -111,12 +111,39 @@ type Result struct {
 	Way int
 }
 
+// ProbeKind classifies one structural BTB event reported to a ProbeFunc.
+type ProbeKind uint8
+
+// Probe kinds.
+const (
+	// ProbeHit: a demand access hit (victim nil).
+	ProbeHit ProbeKind = iota
+	// ProbeInsert: req was filled into the BTB (victim nil).
+	ProbeInsert
+	// ProbeEvict: a valid entry was displaced to make room for req; victim
+	// points at the displaced entry (valid only for the duration of the
+	// call).
+	ProbeEvict
+	// ProbeBypass: the policy declined to insert req.
+	ProbeBypass
+	// ProbePrefetchFill: req was installed by a prefetcher rather than a
+	// demand miss (follows ProbeEvict when the fill displaced an entry).
+	ProbePrefetchFill
+)
+
+// ProbeFunc observes structural BTB events for telemetry. victim is non-nil
+// only for ProbeEvict. Implementations must not retain req or victim past
+// the call. A nil probe (the default) costs one predictable branch per
+// event site.
+type ProbeFunc func(kind ProbeKind, req *Request, victim *Entry)
+
 // BTB is a set-associative branch target buffer.
 type BTB struct {
 	sets, ways int
 	entries    []Entry // sets × ways, row-major
 	policy     Policy
 	stats      Stats
+	probe      ProbeFunc
 }
 
 // New builds a BTB with totalEntries/ways sets (truncating division, which
@@ -160,6 +187,9 @@ func (b *BTB) Stats() Stats { return b.stats }
 // state (used at the end of simulation warmup).
 func (b *BTB) ResetStats() { b.stats = Stats{} }
 
+// SetProbe installs (or, with nil, removes) the telemetry probe.
+func (b *BTB) SetProbe(fn ProbeFunc) { b.probe = fn }
+
 // SetIndex maps a branch PC to its set: address modulo set count, per §4.2.
 func (b *BTB) SetIndex(pc uint64) int {
 	return int(pc % uint64(b.sets))
@@ -201,6 +231,9 @@ func (b *BTB) Access(req *Request) Result {
 			// changed the branch's category.
 			ways[i].Temperature = req.Temperature
 			b.policy.OnHit(s, i, req)
+			if b.probe != nil {
+				b.probe(ProbeHit, req, nil)
+			}
 			return Result{Hit: true, Way: i}
 		}
 	}
@@ -209,12 +242,18 @@ func (b *BTB) Access(req *Request) Result {
 	for i := range ways {
 		if !ways[i].Valid {
 			b.fill(s, i, req)
+			if b.probe != nil {
+				b.probe(ProbeInsert, req, nil)
+			}
 			return Result{Way: i}
 		}
 	}
 	v := b.policy.Victim(s, ways, req)
 	if v == Bypass {
 		b.stats.Bypasses++
+		if b.probe != nil {
+			b.probe(ProbeBypass, req, nil)
+		}
 		return Result{Bypassed: true, Way: -1}
 	}
 	if v < 0 || v >= b.ways {
@@ -223,6 +262,10 @@ func (b *BTB) Access(req *Request) Result {
 	evicted := ways[v]
 	b.stats.Evictions++
 	b.fill(s, v, req)
+	if b.probe != nil {
+		b.probe(ProbeEvict, req, &evicted)
+		b.probe(ProbeInsert, req, nil)
+	}
 	return Result{Evicted: evicted, Way: v}
 }
 
@@ -254,6 +297,9 @@ func (b *BTB) PrefetchFill(req *Request) bool {
 		if !ways[i].Valid {
 			b.fill(s, i, req)
 			b.stats.PrefetchFills++
+			if b.probe != nil {
+				b.probe(ProbePrefetchFill, req, nil)
+			}
 			return true
 		}
 	}
@@ -264,9 +310,14 @@ func (b *BTB) PrefetchFill(req *Request) bool {
 	if v < 0 || v >= b.ways {
 		panic(fmt.Sprintf("btb: policy %s returned invalid victim %d", b.policy.Name(), v))
 	}
+	evicted := ways[v]
 	b.stats.Evictions++
 	b.fill(s, v, req)
 	b.stats.PrefetchFills++
+	if b.probe != nil {
+		b.probe(ProbeEvict, req, &evicted)
+		b.probe(ProbePrefetchFill, req, nil)
+	}
 	return true
 }
 
@@ -287,3 +338,25 @@ func (b *BTB) Occupancy() float64 {
 	}
 	return float64(n) / float64(len(b.entries))
 }
+
+// TemperatureCensus counts valid entries overall and by stored temperature
+// hint (capped at the 2-bit encoding of §3.4). The epoch sampler uses it to
+// report per-temperature occupancy; the walk is O(capacity), so callers
+// should sample it at epoch granularity, not per access.
+func (b *BTB) TemperatureCensus() (valid uint64, byTemp [4]uint64) {
+	for i := range b.entries {
+		if !b.entries[i].Valid {
+			continue
+		}
+		valid++
+		t := b.entries[i].Temperature
+		if t > 3 {
+			t = 3
+		}
+		byTemp[t]++
+	}
+	return valid, byTemp
+}
+
+// Capacity returns the total number of entry slots (sets × ways).
+func (b *BTB) Capacity() int { return len(b.entries) }

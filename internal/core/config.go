@@ -23,6 +23,7 @@ import (
 	"thermometer/internal/btb"
 	"thermometer/internal/cache"
 	"thermometer/internal/profile"
+	"thermometer/internal/telemetry"
 )
 
 // Config parameterizes one simulation run.
@@ -95,6 +96,13 @@ type Config struct {
 	// and predictors before statistics and cycles accumulate (standard
 	// trace-simulation methodology; ChampSim warms similarly).
 	WarmupFrac float64
+
+	// Observer, when non-nil, attaches the telemetry subsystem to the run:
+	// registry counters and histograms, the epoch time series, and the
+	// structured event trace (see package telemetry). nil — the default —
+	// disables all instrumentation at the cost of one predictable branch
+	// per simulated block (BenchmarkObserverDisabled quantifies it).
+	Observer *telemetry.Observer
 }
 
 // TwoLevelBTBConfig sizes the optional two-level BTB organization.

@@ -226,6 +226,13 @@ func Run(tr *trace.Trace, cfg Config) *Result {
 	loadRNG := xrand.New(0xDA7A ^ uint64(len(tr.Records)))
 	width := uint64(cfg.FetchWidth)
 
+	// Telemetry attachment: obs is nil for the common uninstrumented run,
+	// and every instrumentation point below hides behind that one check.
+	var obs *observerState
+	if cfg.Observer != nil {
+		obs = newObserverState(cfg.Observer, res, bank, twoLevel)
+	}
+
 	recs := tr.Records
 	warmupEnd := int(cfg.WarmupFrac * float64(len(recs)))
 	for i := range recs {
@@ -246,6 +253,9 @@ func Run(tr *trace.Trace, cfg Config) *Result {
 			}
 			ras.Pushes, ras.Pops, ras.Overflows, ras.Underflows = 0, 0, 0, 0
 			ibtb.Hits, ibtb.Misses = 0, 0
+			if obs != nil {
+				obs.onWarmupReset()
+			}
 		}
 		r := &recs[i]
 		n := uint64(r.BlockLen) + 1 // block + the branch itself
@@ -336,6 +346,9 @@ func Run(tr *trace.Trace, cfg Config) *Result {
 			penalty = cfg.ExecRedirectPenalty
 		}
 		if penalty > 0 {
+			if obs != nil {
+				obs.onRedirect(btbMiss, dirMiss, targetMiss, r.PC, penalty)
+			}
 			res.RedirectStall += uint64(penalty)
 			// FTQ squash: FDIP loses its accumulated run-ahead. The BPU
 			// restarts on the corrected path at resolution, so the
@@ -410,6 +423,10 @@ func Run(tr *trace.Trace, cfg Config) *Result {
 		if cap := leadCapH(res.Cycles, res.Instructions); leadH > cap {
 			leadH = cap
 		}
+
+		if obs != nil {
+			obs.afterBlock(leadH / 2)
+		}
 	}
 
 	res.BTB = bank.stats()
@@ -423,5 +440,8 @@ func Run(tr *trace.Trace, cfg Config) *Result {
 	res.InstrL1Misses = hier.InstrL1Misses
 	res.InstrL2Misses = hier.InstrL2Misses
 	res.InstrLLCMisses = hier.InstrLLCMisses
+	if obs != nil {
+		obs.finish()
+	}
 	return res
 }

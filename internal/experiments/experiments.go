@@ -14,12 +14,14 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"thermometer/internal/belady"
 	"thermometer/internal/btb"
 	"thermometer/internal/core"
 	"thermometer/internal/policy"
 	"thermometer/internal/profile"
+	"thermometer/internal/telemetry"
 	"thermometer/internal/trace"
 	"thermometer/internal/workload"
 )
@@ -89,9 +91,38 @@ type Context struct {
 	CBP5Traces int
 	IPC1Traces int
 
+	// Telemetry, when non-nil, collects sweep-level metrics: per-experiment
+	// wall time, trace/hint cache traffic. cmd/paperfigs wires it for its
+	// -metrics and -http flags; nil disables collection.
+	Telemetry *telemetry.Registry
+
 	mu     sync.Mutex
 	traces map[string]*trace.Trace
 	hints  map[string]*profile.HintTable
+}
+
+// count bumps a telemetry counter if collection is enabled.
+func (c *Context) count(name string) {
+	if c.Telemetry != nil {
+		c.Telemetry.Counter(name).Inc()
+	}
+}
+
+// Run executes one registered experiment, recording its wall time (in
+// milliseconds, under "exp_<id>_ms") and completion count when telemetry is
+// attached. It panics on unknown IDs, like indexing Registry directly.
+func (c *Context) Run(id string) []*Table {
+	fn := Registry[id]
+	if fn == nil {
+		panic("experiments: unknown experiment " + id)
+	}
+	start := time.Now()
+	tables := fn(c)
+	if c.Telemetry != nil {
+		c.Telemetry.Counter("exp_"+id+"_ms").Add(uint64(time.Since(start).Milliseconds()))
+		c.Telemetry.Counter("experiments_run").Inc()
+	}
+	return tables
 }
 
 // NewContext returns a context at the given scale.
@@ -112,8 +143,10 @@ func (c *Context) AppTrace(name string, input int) *trace.Trace {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if tr, ok := c.traces[key]; ok {
+		c.count("trace_cache_hits")
 		return tr
 	}
+	c.count("trace_cache_misses")
 	spec, ok := workload.App(name)
 	if !ok {
 		panic("experiments: unknown app " + name)
@@ -129,9 +162,11 @@ func (c *Context) Hints(name string, input, entries, ways int, cfg profile.Confi
 	key := fmt.Sprintf("%s#%d@%dx%d:%v:%d", name, input, entries, ways, cfg.Thresholds, cfg.DefaultCategory)
 	c.mu.Lock()
 	if ht, ok := c.hints[key]; ok {
+		c.count("hint_cache_hits")
 		c.mu.Unlock()
 		return ht
 	}
+	c.count("hint_cache_misses")
 	c.mu.Unlock()
 	tr := c.AppTrace(name, input)
 	ht, _, err := profile.ProfileTrace(tr, entries, ways, cfg)

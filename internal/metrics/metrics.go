@@ -70,30 +70,50 @@ func ReuseSequences(accesses []trace.Access, sets int) map[uint64][]float64 {
 	return out
 }
 
-// TransientVariance implements the paper's transient variance:
+// TransientVariance implements the paper's transient variance (§2.3):
 //
-//	1/(n-2) · Σ_{i=2..n-1} (a_i − a_{i+1})²
+//	1/(n−2) · Σ_{i=2..n-1} (a_i − a_{i+1})²
 //
-// over a branch's reuse-distance vector a_2..a_n (0 when too short).
+// The paper indexes by dynamic access count: a branch accessed n times has
+// the reuse-distance vector a_2..a_n with n−1 elements and n−2 consecutive
+// differences, and the divisor is the number of differences. The argument
+// here is that vector, so with m = len(a) reuse samples this computes
+//
+//	1/(m−1) · Σ_{i=0..m-2} (a[i] − a[i+1])²
+//
+// i.e. the mean squared consecutive difference — exactly the paper's
+// estimator under m = n−1. Returns 0 for fewer than two samples.
 func TransientVariance(a []float64) float64 {
-	n := len(a)
-	if n < 2 {
+	m := len(a)
+	if m < 2 {
 		return 0
 	}
 	var sum float64
-	for i := 0; i+1 < n; i++ {
+	for i := 0; i+1 < m; i++ {
 		d := a[i] - a[i+1]
 		sum += d * d
 	}
-	return sum / float64(n-1)
+	return sum / float64(m-1)
 }
 
-// HolisticVariance implements the paper's holistic variance:
+// HolisticVariance implements the paper's holistic variance (§2.3):
 //
-//	1/(n-1) · Σ_{i=2..n} (a_i − ā)²
+//	1/(n−1) · Σ_{i=2..n} (a_i − ā)²
+//
+// As in TransientVariance, the paper's n counts dynamic accesses, so the
+// sum runs over the n−1 reuse samples a_2..a_n and the divisor equals the
+// number of samples. With m = len(a) samples this is the population
+// variance
+//
+//	1/m · Σ_{i=0..m-1} (a[i] − ā)²
+//
+// — NOT the Bessel-corrected 1/(m−1) sample variance: the paper divides by
+// the sample count, and using 1/(m−1) here would break the iid identity
+// E[transient] = 2·E[holistic] that underlies Fig 5's >2× observation
+// (see TestIIDTransientIsTwiceHolistic). Returns 0 for empty input.
 func HolisticVariance(a []float64) float64 {
-	n := len(a)
-	if n == 0 {
+	m := len(a)
+	if m == 0 {
 		return 0
 	}
 	mean := Mean(a)
@@ -102,7 +122,7 @@ func HolisticVariance(a []float64) float64 {
 		d := v - mean
 		sum += d * d
 	}
-	return sum / float64(n)
+	return sum / float64(m)
 }
 
 // Mean returns the arithmetic mean (0 for empty input).
@@ -238,7 +258,15 @@ func Percentile(xs []float64, p float64) float64 {
 	return s[i]
 }
 
-// GeoMeanSpeedup converts a slice of per-app speedup fractions (e.g. 0.087
-// for 8.7%) into their arithmetic mean, the convention the paper's "Avg"
-// bars use.
-func GeoMeanSpeedup(xs []float64) float64 { return Mean(xs) }
+// MeanSpeedup aggregates per-app speedup fractions (e.g. 0.087 for 8.7%)
+// into their arithmetic mean — the convention behind the paper's "Avg"
+// bars (Figs 12, 13, 17), which average percentage speedups across
+// applications rather than taking a geometric mean of speedup ratios.
+func MeanSpeedup(xs []float64) float64 { return Mean(xs) }
+
+// GeoMeanSpeedup is a deprecated alias for MeanSpeedup, kept because the
+// old name wrongly suggested a geometric mean while the implementation has
+// always been (correctly, per the paper's "Avg" convention) arithmetic.
+//
+// Deprecated: use MeanSpeedup.
+func GeoMeanSpeedup(xs []float64) float64 { return MeanSpeedup(xs) }

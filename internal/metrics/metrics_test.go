@@ -204,3 +204,44 @@ func TestSummarizeVariancePhaseBehaviour(t *testing.T) {
 		t.Fatalf("variance ratio = %v, want >= 1", v.Ratio())
 	}
 }
+
+// TestVarianceDivisors locks in the §2.3 estimator choice: with m reuse
+// samples, transient variance divides by the number of consecutive
+// differences (m−1, the paper's n−2) and holistic variance divides by the
+// sample count (m, the paper's n−1). The values below are chosen so every
+// rejected alternative divisor produces a different result.
+func TestVarianceDivisors(t *testing.T) {
+	a := []float64{0, 2}
+	// One squared difference of 4, divided by m−1 = 1.
+	if got := TransientVariance(a); got != 4 {
+		t.Fatalf("transient = %v, want 4 (1/(m−1) over differences); 1/m would give 2", got)
+	}
+	// Mean 1, squared deviations 1+1 = 2, divided by m = 2.
+	if got := HolisticVariance(a); got != 1 {
+		t.Fatalf("holistic = %v, want 1 (population 1/m); Bessel 1/(m−1) would give 2", got)
+	}
+
+	b := []float64{1, 2, 6}
+	// Differences −1, −4 → 1+16 = 17, over m−1 = 2 → 8.5.
+	if got := TransientVariance(b); got != 8.5 {
+		t.Fatalf("transient = %v, want 8.5", got)
+	}
+	// Mean 3, deviations −2, −1, 3 → 4+1+9 = 14, over m = 3.
+	if got, want := HolisticVariance(b), 14.0/3; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("holistic = %v, want %v", got, want)
+	}
+}
+
+func TestMeanSpeedup(t *testing.T) {
+	xs := []float64{0.10, 0.20, 0.60}
+	if got := MeanSpeedup(xs); math.Abs(got-0.30) > 1e-12 {
+		t.Fatalf("MeanSpeedup = %v, want 0.30 (arithmetic mean)", got)
+	}
+	// The deprecated alias must agree forever.
+	if MeanSpeedup(xs) != GeoMeanSpeedup(xs) {
+		t.Fatal("GeoMeanSpeedup alias diverged from MeanSpeedup")
+	}
+	if MeanSpeedup(nil) != 0 {
+		t.Fatal("MeanSpeedup(nil) != 0")
+	}
+}

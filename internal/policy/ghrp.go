@@ -27,6 +27,11 @@ type GHRP struct {
 	lru        lruState
 	deadThresh int
 	passThresh int
+
+	// Decision counters for telemetry (see Instrumented).
+	Bypasses      uint64 // dead-on-arrival insertions declined
+	DeadEvictions uint64 // victims chosen by a confident dead prediction
+	LRUFallbacks  uint64 // victims chosen by the LRU fallback
 }
 
 const (
@@ -53,6 +58,7 @@ func (p *GHRP) Reset(sets, ways int) {
 	p.sig = make([]uint64, sets*ways)
 	p.hitSince = make([]bool, sets*ways)
 	p.lru.reset(sets, ways)
+	p.Bypasses, p.DeadEvictions, p.LRUFallbacks = 0, 0, 0
 }
 
 // signature hashes the PC with the current global history.
@@ -127,12 +133,16 @@ func (p *GHRP) Victim(set int, _ []btb.Entry, req *btb.Request) int {
 	// incoming access still advances history so contexts stay aligned.
 	if inVote := p.vote(p.signature(req.PC)); inVote >= p.passThresh && inVote >= bestVote {
 		p.pushHistory(req.PC)
+		p.Bypasses++
 		return btb.Bypass
 	}
 	victim := bestWay
 	if bestVote < p.deadThresh {
 		// No confident dead prediction: fall back to LRU.
 		victim = p.lru.lruWay(set)
+		p.LRUFallbacks++
+	} else {
+		p.DeadEvictions++
 	}
 	if !p.hitSince[base+victim] {
 		p.train(p.sig[base+victim], true)
@@ -140,4 +150,14 @@ func (p *GHRP) Victim(set int, _ []btb.Entry, req *btb.Request) int {
 	return victim
 }
 
+// TelemetryCounters implements Instrumented.
+func (p *GHRP) TelemetryCounters() map[string]uint64 {
+	return map[string]uint64{
+		"ghrp_bypasses":       p.Bypasses,
+		"ghrp_dead_evictions": p.DeadEvictions,
+		"ghrp_lru_fallbacks":  p.LRUFallbacks,
+	}
+}
+
 var _ btb.Policy = (*GHRP)(nil)
+var _ Instrumented = (*GHRP)(nil)

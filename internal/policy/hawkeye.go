@@ -31,6 +31,10 @@ type Hawkeye struct {
 	sampleLog int // sample sets where set % (1<<sampleLog) == 0
 
 	lru lruState
+
+	// Decision counters for telemetry (see Instrumented).
+	AverseEvictions   uint64 // victims taken from the averse pool
+	FriendlyEvictions uint64 // all-friendly sets: LRU eviction + detrain
 }
 
 const (
@@ -113,6 +117,7 @@ func (p *Hawkeye) Reset(sets, ways int) {
 		p.sampleLog = 0
 	}
 	p.lru.reset(sets, ways)
+	p.AverseEvictions, p.FriendlyEvictions = 0, 0
 }
 
 func (p *Hawkeye) counterIdx(pc uint64) int {
@@ -179,8 +184,10 @@ func (p *Hawkeye) Victim(set int, _ []btb.Entry, _ *btb.Request) int {
 		}
 	}
 	if len(averseWays) > 0 {
+		p.AverseEvictions++
 		return p.lru.lruAmong(set, averseWays)
 	}
+	p.FriendlyEvictions++
 	victim := p.lru.lruWay(set)
 	// Detrain: OPT would not have evicted a friendly line; the classifier
 	// over-promised for this PC.
@@ -190,4 +197,13 @@ func (p *Hawkeye) Victim(set int, _ []btb.Entry, _ *btb.Request) int {
 	return victim
 }
 
+// TelemetryCounters implements Instrumented.
+func (p *Hawkeye) TelemetryCounters() map[string]uint64 {
+	return map[string]uint64{
+		"hawkeye_averse_evictions":   p.AverseEvictions,
+		"hawkeye_friendly_evictions": p.FriendlyEvictions,
+	}
+}
+
 var _ btb.Policy = (*Hawkeye)(nil)
+var _ Instrumented = (*Hawkeye)(nil)

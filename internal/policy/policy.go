@@ -9,6 +9,15 @@ package policy
 
 import "thermometer/internal/btb"
 
+// Instrumented is implemented by policies that expose internal decision
+// counters to the telemetry subsystem. Keys are fully qualified snake_case
+// names (e.g. "thermometer_bypasses"); values are counts since the last
+// Reset. The simulator copies them into the run's metrics registry at end
+// of run, so implementations may build the map on demand.
+type Instrumented interface {
+	TelemetryCounters() map[string]uint64
+}
+
 // lruState is a shared building block: per-way last-touch timestamps.
 type lruState struct {
 	stamp []uint64

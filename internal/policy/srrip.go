@@ -14,6 +14,10 @@ type SRRIP struct {
 	max  uint8 // distant value = 2^bits − 1
 	rrpv []uint8
 	ways int
+
+	// AgingRounds counts whole-set RRPV aging sweeps — a measure of how
+	// often no entry is already predicted distant (see Instrumented).
+	AgingRounds uint64
 }
 
 // NewSRRIP returns a 2-bit SRRIP policy (the standard configuration).
@@ -37,6 +41,7 @@ func (p *SRRIP) Reset(sets, ways int) {
 		p.rrpv[i] = p.max
 	}
 	p.ways = ways
+	p.AgingRounds = 0
 }
 
 // OnHit implements btb.Policy: hit promotion to RRPV 0.
@@ -63,5 +68,14 @@ func (p *SRRIP) Victim(set int, _ []btb.Entry, _ *btb.Request) int {
 		for w := 0; w < p.ways; w++ {
 			p.rrpv[base+w]++
 		}
+		p.AgingRounds++
 	}
 }
+
+// TelemetryCounters implements Instrumented.
+func (p *SRRIP) TelemetryCounters() map[string]uint64 {
+	return map[string]uint64{"srrip_aging_rounds": p.AgingRounds}
+}
+
+var _ btb.Policy = (*SRRIP)(nil)
+var _ Instrumented = (*SRRIP)(nil)

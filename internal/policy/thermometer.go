@@ -120,7 +120,17 @@ func (p *Thermometer) Coverage() float64 {
 	return float64(p.Covered) / float64(p.Decisions)
 }
 
+// TelemetryCounters implements Instrumented.
+func (p *Thermometer) TelemetryCounters() map[string]uint64 {
+	return map[string]uint64{
+		"thermometer_decisions": p.Decisions,
+		"thermometer_covered":   p.Covered,
+		"thermometer_bypasses":  p.Bypasses,
+	}
+}
+
 var _ btb.Policy = (*Thermometer)(nil)
+var _ Instrumented = (*Thermometer)(nil)
 
 // HolisticOnly is the Fig 16 ablation that uses *only* the holistic
 // temperature hint: coldest-temperature eviction with insertion-order

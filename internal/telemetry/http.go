@@ -1,0 +1,39 @@
+package telemetry
+
+import (
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// Serve exposes the observer on an HTTP endpoint for live inspection of
+// long sweeps:
+//
+//	/metrics       current Report as JSON
+//	/debug/vars    expvar (process + published vars)
+//	/debug/pprof/  runtime profiles (CPU, heap, goroutine, …)
+//
+// It binds addr immediately (so misconfigured addresses fail fast), then
+// serves in a background goroutine. bound is the resolved listen address
+// (useful with ":0"); the returned shutdown function closes the listener.
+func (o *Observer) Serve(addr string) (bound string, shutdown func() error, err error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, err
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = o.WriteJSON(w, nil)
+	})
+	srv := &http.Server{Handler: mux}
+	go func() { _ = srv.Serve(ln) }()
+	return ln.Addr().String(), srv.Close, nil
+}

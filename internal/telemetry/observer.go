@@ -1,0 +1,91 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// Observer bundles the three telemetry collectors the simulator can drive:
+// a metrics registry, an epoch sampler, and an event tracer. Any field may
+// be nil to disable that collector; a nil *Observer disables telemetry
+// entirely (core.Run checks the pointer once per block, which is the whole
+// cost of the disabled path).
+type Observer struct {
+	Metrics *Registry
+	Epochs  *EpochSampler
+	Events  *Tracer
+}
+
+// Options configures New.
+type Options struct {
+	// EpochInterval is the epoch length in retired instructions
+	// (0 disables epoch sampling).
+	EpochInterval uint64
+	// EventCap is the ring-buffer capacity of the event tracer
+	// (0 disables event tracing).
+	EventCap int
+}
+
+// New returns an Observer with a registry plus the optional collectors.
+func New(opts Options) *Observer {
+	o := &Observer{Metrics: NewRegistry()}
+	if opts.EpochInterval > 0 {
+		o.Epochs = NewEpochSampler(opts.EpochInterval)
+	}
+	if opts.EventCap > 0 {
+		o.Events = NewTracer(opts.EventCap)
+	}
+	return o
+}
+
+// EventSummary reports tracer totals in the metrics report (the events
+// themselves go to the Chrome trace sink).
+type EventSummary struct {
+	Total    uint64            `json:"total"`
+	Retained int               `json:"retained"`
+	Dropped  uint64            `json:"dropped"`
+	ByKind   map[string]uint64 `json:"by_kind,omitempty"`
+}
+
+// Report is the JSON document the metrics sink writes: a run manifest for
+// reproducibility, the registry snapshot, the epoch time series, and a
+// summary of the event trace.
+type Report struct {
+	Manifest map[string]string `json:"manifest,omitempty"`
+	Metrics  Snapshot          `json:"metrics"`
+	Epochs   []Epoch           `json:"epochs,omitempty"`
+	Events   *EventSummary     `json:"events,omitempty"`
+}
+
+// Report assembles the current Report.
+func (o *Observer) Report(manifest map[string]string) Report {
+	r := Report{Manifest: manifest}
+	if o.Metrics != nil {
+		r.Metrics = o.Metrics.Snapshot()
+	}
+	if o.Epochs != nil {
+		r.Epochs = o.Epochs.Epochs()
+	}
+	if o.Events != nil {
+		s := &EventSummary{
+			Total:    o.Events.Total(),
+			Retained: len(o.Events.Events()),
+			Dropped:  o.Events.Dropped(),
+			ByKind:   make(map[string]uint64),
+		}
+		for k := EventKind(0); k < numEventKinds; k++ {
+			if n := o.Events.CountByKind(k); n > 0 {
+				s.ByKind[k.String()] = n
+			}
+		}
+		r.Events = s
+	}
+	return r
+}
+
+// WriteJSON writes the Report as indented JSON.
+func (o *Observer) WriteJSON(w io.Writer, manifest map[string]string) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(o.Report(manifest))
+}
