@@ -184,7 +184,7 @@ func main() {
 		obs = telemetry.New(opts)
 		cfg.Observer = obs
 	}
-	if *httpAddr != "" {
+	if obs != nil && *httpAddr != "" {
 		bound, shutdown, err := obs.Serve(*httpAddr)
 		if err != nil {
 			fatalf("telemetry http: %v", err)
@@ -272,12 +272,12 @@ func writeSinks(obs *telemetry.Observer, manifest map[string]string, metricsPath
 			return obs.WriteJSON(f, manifest)
 		})
 	}
-	if eventsPath != "" {
+	if eventsPath != "" && obs.Events != nil {
 		writeFile(eventsPath, "Chrome event trace", func(f *os.File) error {
 			return obs.Events.WriteChromeTrace(f)
 		})
 	}
-	if epochCSVPath != "" {
+	if epochCSVPath != "" && obs.Epochs != nil {
 		writeFile(epochCSVPath, "epoch CSV", func(f *os.File) error {
 			return obs.Epochs.WriteCSV(f)
 		})

@@ -55,7 +55,7 @@ func main() {
 		obs = telemetry.New(telemetry.Options{})
 		ctx.Telemetry = obs.Metrics
 	}
-	if *httpA != "" {
+	if obs != nil && *httpA != "" {
 		bound, shutdown, err := obs.Serve(*httpA)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "paperfigs: telemetry http: %v\n", err)
@@ -88,7 +88,7 @@ func main() {
 		fmt.Printf("[%s took %v]\n\n", id, time.Since(start).Round(time.Millisecond))
 	}
 
-	if *metrics != "" {
+	if obs != nil && *metrics != "" {
 		f, err := os.Create(*metrics)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "paperfigs: create metrics: %v\n", err)

@@ -1,0 +1,224 @@
+// Command thermolint runs the repository's custom static-analysis suite —
+// the determinism and observer/policy contract checks that keep the
+// simulator bit-for-bit reproducible (see DESIGN.md, "Determinism & static
+// analysis").
+//
+// Usage:
+//
+//	thermolint ./...                  # whole module
+//	thermolint ./internal/...         # subtree
+//	thermolint -json ./...            # machine-readable findings
+//	go vet -vettool=$(which thermolint) ./...   # as a vet tool
+//
+// Exit status: 0 clean, 1 findings, 2 usage or load error.
+//
+// Analyzers: detrange, noambient, observernil, policycontract, exhaustive.
+// Suppress a finding with `//lint:allow <analyzer> <reason>` on the flagged
+// line or the line above; the reason is mandatory.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"thermometer/internal/analysis"
+	"thermometer/internal/analysis/detrange"
+	"thermometer/internal/analysis/exhaustive"
+	"thermometer/internal/analysis/noambient"
+	"thermometer/internal/analysis/observernil"
+	"thermometer/internal/analysis/policycontract"
+)
+
+var suite = []*analysis.Analyzer{
+	detrange.Analyzer,
+	exhaustive.Analyzer,
+	noambient.Analyzer,
+	observernil.Analyzer,
+	policycontract.Analyzer,
+}
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit findings as JSON")
+	version := flag.String("V", "", "print version and exit (go vet protocol: -V=full)")
+	flagDefs := flag.Bool("flags", false, "print the tool's analyzer flags as JSON (go vet protocol)")
+	flag.Usage = usage
+	flag.Parse()
+
+	// `go vet -vettool` probes the tool with -V=full (version/build ID) and
+	// -flags (supported analyzer flags) before handing it a .cfg file;
+	// answer all three forms of the protocol.
+	if *version != "" {
+		fmt.Printf("thermolint version 1 buildID=thermolint\n")
+		return
+	}
+	if *flagDefs {
+		fmt.Println("[]") // no per-analyzer flags to expose to the vet driver
+		return
+	}
+	args := flag.Args()
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		os.Exit(vettoolRun(args[0]))
+	}
+	if len(args) == 0 {
+		args = []string{"./..."}
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fatal(err)
+	}
+	root, modPath, err := analysis.ModuleRoot(cwd)
+	if err != nil {
+		fatal(err)
+	}
+	loader := analysis.NewModuleLoader(root, modPath)
+
+	var pkgs []*analysis.Package
+	for _, pattern := range args {
+		got, err := expand(loader, root, cwd, pattern)
+		if err != nil {
+			fatal(err)
+		}
+		pkgs = append(pkgs, got...)
+	}
+
+	diags, err := analysis.Run(pkgs, suite)
+	if err != nil {
+		fatal(err)
+	}
+	report(diags, *jsonOut, root)
+	if len(diags) > 0 {
+		os.Exit(1)
+	}
+}
+
+// expand resolves one package pattern ("./...", "./internal/trace", ".")
+// relative to cwd into loaded packages.
+func expand(loader *analysis.Loader, root, cwd, pattern string) ([]*analysis.Package, error) {
+	recursive := false
+	if rest, ok := strings.CutSuffix(pattern, "/..."); ok {
+		recursive = true
+		pattern = rest
+		if pattern == "." || pattern == "" {
+			pattern = "."
+		}
+	}
+	dir := pattern
+	if !filepath.IsAbs(dir) {
+		dir = filepath.Join(cwd, dir)
+	}
+	if !strings.HasPrefix(dir, root) {
+		return nil, fmt.Errorf("pattern %q resolves outside the module at %s", pattern, root)
+	}
+	if recursive {
+		return loader.LoadTree(dir)
+	}
+	rel, err := filepath.Rel(root, dir)
+	if err != nil {
+		return nil, err
+	}
+	path := loaderPath(rel)
+	pkg, err := loader.Load(path)
+	if err != nil {
+		return nil, err
+	}
+	return []*analysis.Package{pkg}, nil
+}
+
+func loaderPath(rel string) string {
+	if rel == "." {
+		return "thermometer"
+	}
+	return "thermometer/" + filepath.ToSlash(rel)
+}
+
+func report(diags []analysis.Diagnostic, asJSON bool, root string) {
+	for i := range diags {
+		if rel, err := filepath.Rel(root, diags[i].File); err == nil && !strings.HasPrefix(rel, "..") {
+			diags[i].File = rel
+		}
+	}
+	if asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(struct {
+			Findings []analysis.Diagnostic `json:"findings"`
+		}{diags}); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "thermolint: %d finding(s)\n", len(diags))
+	}
+}
+
+// vettoolRun implements enough of the `go vet -vettool` unitchecker
+// protocol to be usable: it reads the JSON action config, re-typechecks the
+// package from source (no export data needed), and prints diagnostics.
+func vettoolRun(cfgPath string) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fatal(err)
+	}
+	var cfg struct {
+		ImportPath string
+		Dir        string
+		GoFiles    []string
+	}
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fatal(err)
+	}
+	if len(cfg.GoFiles) == 0 {
+		return 0
+	}
+	dir := cfg.Dir
+	if dir == "" {
+		dir = filepath.Dir(cfg.GoFiles[0])
+	}
+	root, modPath, err := analysis.ModuleRoot(dir)
+	if err != nil {
+		// Not our module (e.g. vetting a dependency): nothing to check.
+		return 0
+	}
+	// go vet drives the tool over the whole import graph, stdlib included;
+	// only packages of the enclosing module are in scope.
+	if cfg.ImportPath != modPath && !strings.HasPrefix(cfg.ImportPath, modPath+"/") {
+		return 0
+	}
+	loader := analysis.NewModuleLoader(root, modPath)
+	pkg, err := loader.Load(cfg.ImportPath)
+	if err != nil {
+		fatal(err)
+	}
+	diags, err := analysis.Run([]*analysis.Package{pkg}, suite)
+	if err != nil {
+		fatal(err)
+	}
+	for _, d := range diags {
+		fmt.Fprintln(os.Stderr, d)
+	}
+	if len(diags) > 0 {
+		return 2
+	}
+	return 0
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, "usage: thermolint [-json] [packages]\n\nanalyzers:\n")
+	for _, a := range suite {
+		fmt.Fprintf(os.Stderr, "  %-15s %s\n", a.Name, a.Doc)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "thermolint: %v\n", err)
+	os.Exit(2)
+}

@@ -1,0 +1,14 @@
+package detrange
+
+import (
+	"regexp"
+	"testing"
+
+	"thermometer/internal/analysis/analysistest"
+)
+
+func TestDetrange(t *testing.T) {
+	defer func(old *regexp.Regexp) { Scope = old }(Scope)
+	Scope = regexp.MustCompile(`^detrangetest$`)
+	analysistest.Run(t, "testdata", Analyzer, "detrangetest")
+}

@@ -1,0 +1,65 @@
+// Package detrangetest exercises the detrange analyzer: map ranges whose
+// body is order-sensitive are flagged; provably order-insensitive bodies and
+// suppressed lines are not.
+package detrangetest
+
+// Order-sensitive: appends produce a slice in iteration order.
+func badCollect(m map[string]int) []string {
+	var out []string
+	for k := range m { // want `range over map m has nondeterministic iteration order`
+		out = append(out, k)
+	}
+	return out
+}
+
+// Order-sensitive: float addition is not associative, so even a pure
+// accumulation depends on iteration order.
+func badFloatSum(m map[string]float64) float64 {
+	total := 0.0
+	for _, v := range m { // want `nondeterministic iteration order`
+		total += v
+	}
+	return total
+}
+
+// Order-insensitive: commutative integer accumulation.
+func goodIntSum(m map[string]int) int {
+	total := 0
+	count := 0
+	for _, v := range m {
+		total += v
+		count++
+	}
+	return total + count
+}
+
+// Order-insensitive: delete-from-map filter.
+func goodFilter(m map[string]int) {
+	for k, v := range m {
+		if v == 0 {
+			delete(m, k)
+		}
+	}
+}
+
+// Suppressed with a documented reason: the collected keys feed a sort.
+func suppressed(m map[string]int) int {
+	n := 0
+	var keys []string
+	for k := range m { //lint:allow detrange keys feed a sort immediately below
+		keys = append(keys, k)
+	}
+	for range keys {
+		n++
+	}
+	return n
+}
+
+// Not a map: slice ranges are always in index order.
+func goodSlice(s []int) []int {
+	var out []int
+	for _, v := range s {
+		out = append(out, v)
+	}
+	return out
+}

@@ -1,0 +1,126 @@
+// Package exhaustive implements the thermolint analyzer that checks enum
+// switches for completeness.
+//
+// Temperature categories, event kinds, branch types, and probe kinds are
+// all defined-integer-type enums; a switch over one that silently ignores a
+// constant is how new event kinds fall out of telemetry and new branch
+// types fall out of the simulator. A switch over an enum type must either
+// cover every constant of the type or carry a default case.
+//
+// Constants named with a num/max prefix (numEventKinds, numBranchTypes) are
+// treated as cardinality sentinels, not values.
+package exhaustive
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+
+	"thermometer/internal/analysis"
+)
+
+// ScopeTypes restricts the check to enums declared in matching packages
+// (module-local by default; stdlib enums are never audited).
+var ScopeTypes = regexp.MustCompile(`^thermometer/`)
+
+// sentinelRE matches cardinality sentinels that are not real enum values.
+var sentinelRE = regexp.MustCompile(`^(num|Num|max|Max|sentinel|Sentinel)`)
+
+// Analyzer is the exhaustive pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "exhaustive",
+	Doc: "switches over enum types (defined integer types with declared " +
+		"constants) must cover every constant or have a default case",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	pass.Inspect(func(n ast.Node) bool {
+		sw, ok := n.(*ast.SwitchStmt)
+		if !ok || sw.Tag == nil {
+			return true
+		}
+		t := pass.TypeOf(sw.Tag)
+		if t == nil {
+			return true
+		}
+		named, ok := types.Unalias(t).(*types.Named)
+		if !ok || named.Obj().Pkg() == nil {
+			return true
+		}
+		if !ScopeTypes.MatchString(named.Obj().Pkg().Path()) {
+			return true
+		}
+		basic, ok := named.Underlying().(*types.Basic)
+		if !ok || basic.Info()&types.IsInteger == 0 {
+			return true
+		}
+		enum := enumConstants(named)
+		if len(enum) < 2 {
+			return true
+		}
+
+		covered := make(map[string]bool)
+		for _, clause := range sw.Body.List {
+			cc, ok := clause.(*ast.CaseClause)
+			if !ok {
+				continue
+			}
+			if cc.List == nil {
+				return true // default case present: partial coverage is fine
+			}
+			for _, e := range cc.List {
+				if tv, ok := pass.Info.Types[e]; ok && tv.Value != nil {
+					covered[tv.Value.ExactString()] = true
+				}
+			}
+		}
+
+		var missing []string
+		for _, c := range enum {
+			if !covered[c.Val().ExactString()] {
+				missing = append(missing, c.Name())
+			}
+		}
+		if len(missing) > 0 {
+			sort.Strings(missing)
+			pass.Reportf(sw.Switch,
+				"switch over %s.%s is not exhaustive: missing %s (add the cases or a default)",
+				named.Obj().Pkg().Name(), named.Obj().Name(), strings.Join(missing, ", "))
+		}
+		return true
+	})
+	return nil
+}
+
+// enumConstants returns the package-level constants of exactly the named
+// type, excluding cardinality sentinels, deduplicated by value.
+func enumConstants(named *types.Named) []*types.Const {
+	scope := named.Obj().Pkg().Scope()
+	seen := make(map[string]bool)
+	var out []*types.Const
+	for _, name := range scope.Names() {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok || !types.Identical(c.Type(), named) {
+			continue
+		}
+		if sentinelRE.MatchString(c.Name()) || c.Name() == "_" {
+			continue
+		}
+		key := c.Val().ExactString()
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		vi, _ := constant.Int64Val(out[i].Val())
+		vj, _ := constant.Int64Val(out[j].Val())
+		return vi < vj
+	})
+	return out
+}

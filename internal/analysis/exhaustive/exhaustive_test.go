@@ -1,0 +1,14 @@
+package exhaustive
+
+import (
+	"regexp"
+	"testing"
+
+	"thermometer/internal/analysis/analysistest"
+)
+
+func TestExhaustive(t *testing.T) {
+	defer func(old *regexp.Regexp) { ScopeTypes = old }(ScopeTypes)
+	ScopeTypes = regexp.MustCompile(`^exhtest$`)
+	analysistest.Run(t, "testdata", Analyzer, "exhtest")
+}

@@ -1,0 +1,63 @@
+// Package exhtest exercises the exhaustive analyzer: switches over enum
+// types must cover every constant or carry a default case.
+package exhtest
+
+// Kind is an enum with a cardinality sentinel.
+type Kind int
+
+const (
+	KindA Kind = iota
+	KindB
+	KindC
+	numKinds // sentinel: excluded from coverage
+)
+
+var _ = numKinds
+
+func bad(k Kind) int {
+	switch k { // want `switch over exhtest.Kind is not exhaustive: missing KindC`
+	case KindA:
+		return 1
+	case KindB:
+		return 2
+	}
+	return 0
+}
+
+func goodFull(k Kind) int {
+	switch k {
+	case KindA, KindB:
+		return 1
+	case KindC:
+		return 3
+	}
+	return 0
+}
+
+func goodDefault(k Kind) int {
+	switch k {
+	case KindA:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// Suppressed with a documented reason.
+func suppressed(k Kind) int {
+	//lint:allow exhaustive only KindA matters on this diagnostic path
+	switch k {
+	case KindA:
+		return 1
+	}
+	return 0
+}
+
+// Switches over non-enum types are never audited.
+func goodInt(n int) int {
+	switch n {
+	case 0:
+		return 1
+	}
+	return 0
+}

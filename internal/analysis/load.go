@@ -1,0 +1,272 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// A Package is one loaded, type-checked package ready for analysis.
+type Package struct {
+	Path  string // import path
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// A Loader parses and type-checks packages from source. It resolves imports
+// in three tiers: paths under the configured module prefix map into the
+// module tree, paths present under a GOPATH-style src root (analysistest
+// testdata) load from there, and everything else falls back to the standard
+// library's source importer — so no compiled export data, module proxy, or
+// network access is ever needed.
+type Loader struct {
+	Fset *token.FileSet
+
+	modulePath string // e.g. "thermometer"; "" if no module mapping
+	moduleDir  string
+	srcRoot    string // GOPATH-style root for testdata packages; "" if unused
+
+	stdlib  types.Importer
+	pkgs    map[string]*Package
+	loading map[string]bool
+}
+
+// NewModuleLoader returns a loader rooted at a module directory. modulePath
+// is the module's import path from go.mod.
+func NewModuleLoader(moduleDir, modulePath string) *Loader {
+	return newLoader(moduleDir, modulePath, "")
+}
+
+// NewTestdataLoader returns a loader resolving import paths relative to a
+// GOPATH-style src directory (analysistest layout: srcRoot/<importpath>/*.go).
+func NewTestdataLoader(srcRoot string) *Loader {
+	return newLoader("", "", srcRoot)
+}
+
+func newLoader(moduleDir, modulePath, srcRoot string) *Loader {
+	fset := token.NewFileSet()
+	return &Loader{
+		Fset:       fset,
+		modulePath: modulePath,
+		moduleDir:  moduleDir,
+		srcRoot:    srcRoot,
+		stdlib:     importer.ForCompiler(fset, "source", nil),
+		pkgs:       make(map[string]*Package),
+		loading:    make(map[string]bool),
+	}
+}
+
+// ModuleRoot locates the enclosing module of dir and returns its root
+// directory and module path from go.mod.
+func ModuleRoot(dir string) (root, modulePath string, err error) {
+	dir, err = filepath.Abs(dir)
+	if err != nil {
+		return "", "", err
+	}
+	for {
+		data, err := os.ReadFile(filepath.Join(dir, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if rest, ok := strings.CutPrefix(line, "module "); ok {
+					return dir, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("go.mod in %s has no module directive", dir)
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", "", fmt.Errorf("no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// dirFor maps an import path to a source directory, or ok=false if the path
+// belongs to neither the module nor the testdata root.
+func (l *Loader) dirFor(path string) (string, bool) {
+	if l.modulePath != "" {
+		if path == l.modulePath {
+			return l.moduleDir, true
+		}
+		if rest, ok := strings.CutPrefix(path, l.modulePath+"/"); ok {
+			return filepath.Join(l.moduleDir, filepath.FromSlash(rest)), true
+		}
+	}
+	if l.srcRoot != "" {
+		dir := filepath.Join(l.srcRoot, filepath.FromSlash(path))
+		if st, err := os.Stat(dir); err == nil && st.IsDir() {
+			return dir, true
+		}
+	}
+	return "", false
+}
+
+// Import implements types.Importer so a Loader can resolve its own
+// packages' imports recursively.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if dir, ok := l.dirFor(path); ok {
+		pkg, err := l.load(path, dir)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return l.stdlib.Import(path)
+}
+
+// Load loads the package with the given import path.
+func (l *Loader) Load(path string) (*Package, error) {
+	dir, ok := l.dirFor(path)
+	if !ok {
+		return nil, fmt.Errorf("import path %q is outside the loader's roots", path)
+	}
+	return l.load(path, dir)
+}
+
+func (l *Loader) load(path, dir string) (*Package, error) {
+	if pkg, ok := l.pkgs[path]; ok {
+		return pkg, nil
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("import cycle through %q", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+
+	files, err := l.parseDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no buildable Go files in %s", dir)
+	}
+
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+
+	var typeErrs []error
+	conf := types.Config{
+		Importer: importerFunc(l.Import),
+		Error:    func(err error) { typeErrs = append(typeErrs, err) },
+	}
+	tpkg, _ := conf.Check(path, l.Fset, files, info)
+	if len(typeErrs) > 0 {
+		msgs := make([]string, 0, len(typeErrs))
+		for i, e := range typeErrs {
+			if i == 8 {
+				msgs = append(msgs, fmt.Sprintf("... and %d more", len(typeErrs)-i))
+				break
+			}
+			msgs = append(msgs, e.Error())
+		}
+		return nil, fmt.Errorf("type-checking %s:\n\t%s", path, strings.Join(msgs, "\n\t"))
+	}
+
+	pkg := &Package{Path: path, Dir: dir, Fset: l.Fset, Files: files, Types: tpkg, Info: info}
+	l.pkgs[path] = pkg
+	return pkg, nil
+}
+
+// parseDir parses the non-test Go files of one directory, with comments
+// (needed for //lint:allow suppressions and analysistest want markers).
+func (l *Loader) parseDir(dir string) ([]*ast.File, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") ||
+			strings.HasPrefix(name, "_") || strings.HasPrefix(name, ".") {
+			continue
+		}
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// LoadTree loads every package under root (a directory inside the module),
+// skipping testdata, hidden, and vendor directories. Paths are returned
+// sorted for deterministic driver output.
+func (l *Loader) LoadTree(root string) ([]*Package, error) {
+	if l.modulePath == "" {
+		return nil, fmt.Errorf("LoadTree requires a module loader")
+	}
+	var dirs []string
+	err := filepath.WalkDir(root, func(p string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if name == "testdata" || name == "vendor" || (p != root && strings.HasPrefix(name, ".")) {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(p, ".go") && !strings.HasSuffix(p, "_test.go") {
+			dirs = append(dirs, filepath.Dir(p))
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(dirs)
+	dirs = dedup(dirs)
+
+	var pkgs []*Package
+	for _, dir := range dirs {
+		rel, err := filepath.Rel(l.moduleDir, dir)
+		if err != nil {
+			return nil, err
+		}
+		path := l.modulePath
+		if rel != "." {
+			path = l.modulePath + "/" + filepath.ToSlash(rel)
+		}
+		pkg, err := l.load(path, dir)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+func dedup(sorted []string) []string {
+	out := sorted[:0]
+	for i, s := range sorted {
+		if i == 0 || s != sorted[i-1] {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// importerFunc adapts a function to types.Importer.
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

@@ -1,0 +1,17 @@
+package noambient
+
+import (
+	"regexp"
+	"testing"
+
+	"thermometer/internal/analysis/analysistest"
+)
+
+func TestNoambient(t *testing.T) {
+	defer func(oldScope, oldExempt *regexp.Regexp) {
+		Scope, Exempt = oldScope, oldExempt
+	}(Scope, Exempt)
+	Scope = regexp.MustCompile(`^noamb`)
+	Exempt = regexp.MustCompile(`^noambexempt$`)
+	analysistest.Run(t, "testdata", Analyzer, "noambtest", "noambexempt")
+}

@@ -1,0 +1,7 @@
+// Package noambexempt stands in for internal/telemetry: an exempted package
+// may read the wall clock freely.
+package noambexempt
+
+import "time"
+
+func Stamp() time.Time { return time.Now() }

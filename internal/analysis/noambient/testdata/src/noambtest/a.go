@@ -1,0 +1,30 @@
+// Package noambtest exercises the noambient analyzer: ambient inputs
+// (wall-clock, environment, math/rand) are flagged in scoped packages.
+package noambtest
+
+import (
+	"math/rand" // want `import of math/rand is forbidden in simulator packages`
+	"os"
+	"time"
+)
+
+func bad() int64 {
+	t := time.Now()             // want `time.Now \(wall-clock time\) is forbidden`
+	_ = os.Getenv("HOME")       // want `os.Getenv \(environment access\) is forbidden`
+	_, _ = os.LookupEnv("PATH") // want `os.LookupEnv \(environment access\) is forbidden`
+	return t.Unix() + int64(rand.Int())
+}
+
+func alsoBad(start time.Time) time.Duration {
+	return time.Since(start) // want `time.Since \(wall-clock time\) is forbidden`
+}
+
+// Clean: time values and durations are fine; only the ambient reads are not.
+func good(d time.Duration) time.Duration {
+	return d * 2
+}
+
+// Suppressed with a documented reason.
+func suppressed() time.Time {
+	return time.Now() //lint:allow noambient measuring the harness itself, not simulated time
+}

@@ -1,0 +1,13 @@
+package observernil
+
+import (
+	"testing"
+
+	"thermometer/internal/analysis/analysistest"
+)
+
+func TestObservernil(t *testing.T) {
+	defer func(old []string) { GuardedTypes = old }(GuardedTypes)
+	GuardedTypes = []string{"obsniltest.Observer"}
+	analysistest.Run(t, "testdata", Analyzer, "obsniltest")
+}

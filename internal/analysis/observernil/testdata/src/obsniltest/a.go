@@ -1,0 +1,84 @@
+// Package obsniltest exercises the observernil analyzer: probe-method calls
+// on possibly-nil guarded pointers must be dominated by a nil check.
+package obsniltest
+
+// Observer is the guarded type (tests point GuardedTypes at it).
+type Observer struct{ n int }
+
+// New returns a ready observer.
+func New() *Observer { return &Observer{} }
+
+// Probe and Count are probe methods.
+func (o *Observer) Probe()     { o.n++ }
+func (o *Observer) Count() int { return o.n }
+
+// Holder carries a possibly-nil observer, like core.Config.
+type Holder struct{ Obs *Observer }
+
+func bad(h Holder) {
+	h.Obs.Probe() // want `call to \(\*obsniltest.Observer\).Probe on possibly-nil h.Obs is not dominated by a nil check`
+}
+
+func badAfterWrongGuard(h, other Holder) {
+	if other.Obs != nil {
+		h.Obs.Probe() // want `not dominated by a nil check`
+	}
+}
+
+func goodIf(h Holder) {
+	if h.Obs != nil {
+		h.Obs.Probe()
+	}
+}
+
+func goodElse(h Holder) {
+	if h.Obs == nil {
+		return
+	} else {
+		h.Obs.Probe()
+	}
+}
+
+func goodShortCircuit(h Holder) bool {
+	return h.Obs != nil && h.Obs.Count() > 0
+}
+
+func goodOrGuard(h Holder) bool {
+	return h.Obs == nil || h.Obs.Count() > 0
+}
+
+func goodEarlyReturn(h Holder) int {
+	if h.Obs == nil {
+		return 0
+	}
+	h.Obs.Probe()
+	return h.Obs.Count()
+}
+
+// Parameters carry a non-nil boundary contract: the guard belongs at call
+// sites.
+func goodParam(o *Observer) {
+	o.Probe()
+}
+
+// Closures inherit the enclosing function's parameter contract.
+func goodClosureOverParam(o *Observer) func() int {
+	return func() int { return o.Count() }
+}
+
+// Locals definitely assigned from a constructor are non-nil.
+func goodConstructorLocal() int {
+	o := New()
+	o.Probe()
+	return o.Count()
+}
+
+// Constructor chaining is exempt by shape.
+func goodChained() int {
+	return New().Count()
+}
+
+func badDeclaredNil() {
+	var o *Observer
+	o.Probe() // want `possibly-nil o is not dominated by a nil check`
+}

@@ -1,0 +1,181 @@
+// Package policycontract implements the thermolint analyzer that catches
+// half-wired replacement policies.
+//
+// A BTB replacement policy is only usable if it implements the complete
+// btb.Policy interface (Name/Reset/OnHit/OnInsert/Victim); a type that
+// implements the decision surface (Victim, OnInsert, ...) but misses a
+// method silently fails interface satisfaction at its use site, often far
+// from the type. Separately, a policy that exports decision counters
+// (exported integer fields like Bypasses or AverseEvictions) must implement
+// policy.Instrumented so those counters actually reach the telemetry
+// registry instead of dying with the run.
+package policycontract
+
+import (
+	"fmt"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+
+	"thermometer/internal/analysis"
+)
+
+// Configuration, overridable by tests: the package(s) to audit, the full
+// replacement interface, and the instrumentation interface.
+var (
+	Scope             = regexp.MustCompile(`^thermometer/internal/policy$`)
+	ContractIface     = "thermometer/internal/btb.Policy"
+	InstrumentedIface = "thermometer/internal/policy.Instrumented"
+)
+
+// decisionMethods is the partial-implementation tripwire: a type providing
+// any of these is clearly meant to be a policy.
+var decisionMethods = []string{"Victim", "OnInsert", "OnHit", "Reset"}
+
+// Analyzer is the policycontract pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "policycontract",
+	Doc: "types implementing part of the replacement-policy decision surface " +
+		"must implement all of btb.Policy, and policies exporting decision " +
+		"counters must implement policy.Instrumented",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	if !Scope.MatchString(pass.Pkg.Path()) {
+		return nil
+	}
+	contract, err := lookupInterface(pass, ContractIface)
+	if err != nil {
+		return err
+	}
+	instrumented, err := lookupInterface(pass, InstrumentedIface)
+	if err != nil {
+		return err
+	}
+
+	scope := pass.Pkg.Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok || tn.IsAlias() {
+			continue
+		}
+		named, ok := tn.Type().(*types.Named)
+		if !ok {
+			continue
+		}
+		if types.IsInterface(named) {
+			continue
+		}
+		ptr := types.NewPointer(named)
+		ms := types.NewMethodSet(ptr)
+
+		if !types.Implements(ptr, contract) {
+			if decl := declaredDecisionMethods(ms); len(decl) > 0 {
+				missing := missingMethods(ms, contract)
+				pass.Reportf(tn.Pos(),
+					"type %s implements %s of the replacement decision surface but not the full %s interface (missing %s); half-wired policies fail interface satisfaction at their use site",
+					name, strings.Join(decl, "/"), ifaceName(ContractIface), strings.Join(missing, ", "))
+			}
+			continue
+		}
+		if counters := exportedCounterFields(named); len(counters) > 0 && !types.Implements(ptr, instrumented) {
+			pass.Reportf(tn.Pos(),
+				"policy %s exports decision counters (%s) but does not implement %s; the counters never reach the telemetry registry",
+				name, strings.Join(counters, ", "), ifaceName(InstrumentedIface))
+		}
+	}
+	return nil
+}
+
+// lookupInterface resolves "importpath.Name" against the analyzed package
+// or its direct imports. A missing provider package is not an error — the
+// analyzed package simply doesn't participate in the contract.
+func lookupInterface(pass *analysis.Pass, full string) (*types.Interface, error) {
+	dot := strings.LastIndex(full, ".")
+	if dot < 0 {
+		return nil, fmt.Errorf("policycontract: bad interface name %q", full)
+	}
+	path, name := full[:dot], full[dot+1:]
+	var provider *types.Package
+	if pass.Pkg.Path() == path {
+		provider = pass.Pkg
+	} else {
+		for _, imp := range pass.Pkg.Imports() {
+			if imp.Path() == path {
+				provider = imp
+				break
+			}
+		}
+	}
+	if provider == nil {
+		return types.NewInterfaceType(nil, nil), nil // vacuous: nothing to check
+	}
+	obj, ok := provider.Scope().Lookup(name).(*types.TypeName)
+	if !ok {
+		return nil, fmt.Errorf("policycontract: %s does not declare type %s", path, name)
+	}
+	iface, ok := obj.Type().Underlying().(*types.Interface)
+	if !ok {
+		return nil, fmt.Errorf("policycontract: %s is not an interface", full)
+	}
+	return iface, nil
+}
+
+func declaredDecisionMethods(ms *types.MethodSet) []string {
+	var out []string
+	for _, m := range decisionMethods {
+		if ms.Lookup(nil, m) != nil {
+			out = append(out, m)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+func missingMethods(ms *types.MethodSet, iface *types.Interface) []string {
+	var out []string
+	for i := 0; i < iface.NumMethods(); i++ {
+		m := iface.Method(i)
+		found := false
+		for j := 0; j < ms.Len(); j++ {
+			if ms.At(j).Obj().Name() == m.Name() {
+				found = true
+				break
+			}
+		}
+		if !found {
+			out = append(out, m.Name())
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// exportedCounterFields returns the exported integer fields of a struct
+// type — the decision counters a policy publishes.
+func exportedCounterFields(named *types.Named) []string {
+	st, ok := named.Underlying().(*types.Struct)
+	if !ok {
+		return nil
+	}
+	var out []string
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if !f.Exported() || f.Embedded() {
+			continue
+		}
+		if b, ok := f.Type().Underlying().(*types.Basic); ok && b.Info()&types.IsInteger != 0 {
+			out = append(out, f.Name())
+		}
+	}
+	return out
+}
+
+func ifaceName(full string) string {
+	if dot := strings.LastIndex(full, "/"); dot >= 0 {
+		return full[dot+1:]
+	}
+	return full
+}

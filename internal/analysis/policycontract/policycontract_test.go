@@ -1,0 +1,18 @@
+package policycontract
+
+import (
+	"regexp"
+	"testing"
+
+	"thermometer/internal/analysis/analysistest"
+)
+
+func TestPolicycontract(t *testing.T) {
+	defer func(oldScope *regexp.Regexp, oldContract, oldInstr string) {
+		Scope, ContractIface, InstrumentedIface = oldScope, oldContract, oldInstr
+	}(Scope, ContractIface, InstrumentedIface)
+	Scope = regexp.MustCompile(`^polctest$`)
+	ContractIface = "polctest.Policy"
+	InstrumentedIface = "polctest.Instrumented"
+	analysistest.Run(t, "testdata", Analyzer, "polctest")
+}

@@ -1,0 +1,51 @@
+// Package polctest exercises the policycontract analyzer with a local copy
+// of the replacement-policy and instrumentation interfaces.
+package polctest
+
+// Policy is the full replacement contract (stands in for btb.Policy).
+type Policy interface {
+	Name() string
+	Reset()
+	OnHit(set, way int)
+	OnInsert(set, way int)
+	Victim(set int) int
+}
+
+// Instrumented is the counter-export contract (stands in for
+// policy.Instrumented).
+type Instrumented interface {
+	TelemetryCounters() map[string]uint64
+}
+
+// HalfWired declares part of the decision surface but not the full Policy.
+type HalfWired struct{} // want `type HalfWired implements OnInsert/Victim of the replacement decision surface but not the full polctest.Policy interface \(missing Name, OnHit, Reset\)`
+
+func (HalfWired) Victim(set int) int    { return 0 }
+func (HalfWired) OnInsert(set, way int) {}
+
+// Uninstrumented is a complete policy that exports a decision counter
+// without implementing Instrumented.
+type Uninstrumented struct { // want `policy Uninstrumented exports decision counters \(Bypasses\) but does not implement polctest.Instrumented`
+	Bypasses uint64
+}
+
+func (*Uninstrumented) Name() string          { return "uninstrumented" }
+func (*Uninstrumented) Reset()                {}
+func (*Uninstrumented) OnHit(set, way int)    {}
+func (*Uninstrumented) OnInsert(set, way int) {}
+func (*Uninstrumented) Victim(set int) int    { return 0 }
+
+// Good is a complete, instrumented policy.
+type Good struct{ Bypasses uint64 }
+
+func (*Good) Name() string          { return "good" }
+func (*Good) Reset()                {}
+func (*Good) OnHit(set, way int)    {}
+func (*Good) OnInsert(set, way int) {}
+func (*Good) Victim(set int) int    { return 0 }
+func (g *Good) TelemetryCounters() map[string]uint64 {
+	return map[string]uint64{"bypasses": g.Bypasses}
+}
+
+// Table is not a policy at all; exported integer fields alone are fine.
+type Table struct{ Rows int }

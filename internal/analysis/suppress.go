@@ -1,0 +1,66 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Suppression comments take the form
+//
+//	//lint:allow <analyzer> <reason...>
+//
+// placed on the flagged line or on the line immediately above it. The reason
+// is mandatory: a suppression that does not say *why* the nondeterminism (or
+// other contract breach) is acceptable is itself reported as a finding, so
+// the codebase cannot silently accumulate unexplained waivers.
+const suppressPrefix = "//lint:allow"
+
+// suppressionSet records which (file, line, analyzer) triples are waived.
+type suppressionSet struct {
+	allowed   map[suppressKey]bool
+	malformed []Diagnostic
+}
+
+type suppressKey struct {
+	file     string
+	line     int
+	analyzer string
+}
+
+// buildSuppressions scans the package's comments for //lint:allow markers.
+func buildSuppressions(fset *token.FileSet, files []*ast.File) *suppressionSet {
+	s := &suppressionSet{allowed: make(map[suppressKey]bool)}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, suppressPrefix)
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				fields := strings.Fields(text)
+				if len(fields) < 2 {
+					s.malformed = append(s.malformed, Diagnostic{
+						Pos:      pos,
+						File:     pos.Filename,
+						Line:     pos.Line,
+						Column:   pos.Column,
+						Analyzer: "lint",
+						Message:  "malformed suppression: want //lint:allow <analyzer> <reason>, with a non-empty reason",
+					})
+					continue
+				}
+				s.allowed[suppressKey{pos.Filename, pos.Line, fields[0]}] = true
+			}
+		}
+	}
+	return s
+}
+
+// suppressed reports whether d is waived by a marker on its line or the
+// line above.
+func (s *suppressionSet) suppressed(d Diagnostic) bool {
+	return s.allowed[suppressKey{d.File, d.Line, d.Analyzer}] ||
+		s.allowed[suppressKey{d.File, d.Line - 1, d.Analyzer}]
+}

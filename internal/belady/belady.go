@@ -15,6 +15,7 @@ package belady
 import (
 	"sort"
 
+	"thermometer/internal/detmap"
 	"thermometer/internal/trace"
 )
 
@@ -72,8 +73,8 @@ func (r *Result) HitRate() float64 {
 // hit-to-taken percentage — the x-axis ordering of Figs 6 and 7.
 func (r *Result) SortedByTemperature() []*BranchProfile {
 	out := make([]*BranchProfile, 0, len(r.PerBranch))
-	for _, b := range r.PerBranch {
-		out = append(out, b)
+	for _, pc := range detmap.SortedKeys(r.PerBranch) {
+		out = append(out, r.PerBranch[pc])
 	}
 	sort.Slice(out, func(i, j int) bool {
 		ti, tj := out[i].HitToTaken(), out[j].HitToTaken()

@@ -1,0 +1,85 @@
+package core_test
+
+import (
+	"bytes"
+	"testing"
+
+	"thermometer/internal/btb"
+	"thermometer/internal/core"
+	"thermometer/internal/policy"
+	"thermometer/internal/profile"
+	"thermometer/internal/telemetry"
+	"thermometer/internal/trace"
+	"thermometer/internal/workload"
+)
+
+// TestTelemetryDeterminism is the end-to-end reproducibility check the thermolint
+// suite exists to protect: the same seeded workload simulated twice under
+// every policy must produce byte-identical telemetry — the full metrics JSON
+// report (registry snapshot, epoch series, event summary) and the epoch CSV.
+// Any map-iteration leak, ambient input, or unguarded observer path shows up
+// here as a diff.
+func TestTelemetryDeterminism(t *testing.T) {
+	spec, ok := workload.App(workload.AppNames()[0])
+	if !ok {
+		t.Fatal("no workloads registered")
+	}
+	tr := spec.ScaleLength(1, 20).Generate(0)
+
+	cfgBase := core.DefaultConfig()
+	hints, _, err := profile.ProfileTrace(tr, cfgBase.BTBEntries, cfgBase.BTBWays, profile.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	policies := map[string]func() btb.Policy{
+		"lru":         func() btb.Policy { return policy.NewLRU() },
+		"random":      func() btb.Policy { return policy.NewRandom() },
+		"srrip":       func() btb.Policy { return policy.NewSRRIP() },
+		"ghrp":        func() btb.Policy { return policy.NewGHRP() },
+		"hawkeye":     func() btb.Policy { return policy.NewHawkeye() },
+		"opt":         func() btb.Policy { return policy.NewOPT() },
+		"thermometer": func() btb.Policy { return policy.NewThermometer() },
+		"holistic":    func() btb.Policy { return policy.NewHolisticOnly() },
+	}
+
+	// run simulates once with a fresh observer and returns the two telemetry
+	// artifacts. The manifest is fixed: a wall-clock or build stamp in it
+	// would be an ambient input, which is exactly what noambient forbids.
+	run := func(tr *trace.Trace, newPolicy func() btb.Policy) (json, csv []byte) {
+		t.Helper()
+		obs := telemetry.New(telemetry.Options{EpochInterval: 5000, EventCap: 1 << 12})
+		cfg := cfgBase
+		cfg.NewPolicy = newPolicy
+		cfg.Hints = hints
+		cfg.Observer = obs
+		core.Run(tr, cfg)
+
+		var j, c bytes.Buffer
+		if err := obs.WriteJSON(&j, map[string]string{"trace": tr.Name, "test": "determinism"}); err != nil {
+			t.Fatal(err)
+		}
+		if obs.Epochs != nil {
+			if err := obs.Epochs.WriteCSV(&c); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return j.Bytes(), c.Bytes()
+	}
+
+	for name, newPolicy := range policies {
+		t.Run(name, func(t *testing.T) {
+			json1, csv1 := run(tr, newPolicy)
+			json2, csv2 := run(tr, newPolicy)
+			if !bytes.Equal(json1, json2) {
+				t.Errorf("metrics JSON differs between identical runs (%d vs %d bytes)", len(json1), len(json2))
+			}
+			if !bytes.Equal(csv1, csv2) {
+				t.Errorf("epoch CSV differs between identical runs (%d vs %d bytes)", len(csv1), len(csv2))
+			}
+			if len(csv1) == 0 {
+				t.Error("epoch CSV is empty; epoch sampling did not run")
+			}
+		})
+	}
+}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"thermometer/internal/btb"
+	"thermometer/internal/detmap"
 	"thermometer/internal/policy"
 	"thermometer/internal/telemetry"
 )
@@ -20,8 +21,8 @@ type observerState struct {
 	twoLevel *btb.TwoLevel
 
 	// Registry handles (nil when obs.Metrics is nil).
-	cInsert, cEvict, cBypass, cPrefetch *telemetry.Counter
-	cRedirectBTB, cRedirectDir, cRedirectTgt *telemetry.Counter
+	cInsert, cEvict, cBypass, cPrefetch                    *telemetry.Counter
+	cRedirectBTB, cRedirectDir, cRedirectTgt               *telemetry.Counter
 	hEvictionAge, hHitInterval, hFTQLead, hRedirectPenalty *telemetry.Histogram
 
 	// insertCycle / lastHitCycle track per-branch timestamps for the
@@ -225,8 +226,9 @@ func (o *observerState) finish() {
 	m.SetCounter("instructions", o.res.Instructions)
 	m.SetCounter("cycles", o.res.Cycles)
 	if ins, ok := o.res.Policy.(policy.Instrumented); ok {
-		for name, v := range ins.TelemetryCounters() {
-			m.SetCounter("policy_"+name, v)
+		tc := ins.TelemetryCounters()
+		for _, name := range detmap.SortedKeys(tc) {
+			m.SetCounter("policy_"+name, tc[name])
 		}
 	}
 }

@@ -287,6 +287,8 @@ func Run(tr *trace.Trace, cfg Config) *Result {
 					targetMiss = true
 					res.RASMispredicts++
 				}
+			default:
+				// Direct jumps and conditional branches don't touch the RAS.
 			}
 			if r.Type == trace.IndirectJump || r.Type == trace.IndirectCall {
 				if !ibtb.Update(r.PC, r.Target) {

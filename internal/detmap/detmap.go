@@ -1,0 +1,25 @@
+// Package detmap provides deterministic iteration over Go maps.
+//
+// Go randomizes map iteration order on every range, which silently breaks
+// the simulator's bit-for-bit reproducibility contract (identical seeds must
+// produce identical victim choices, metrics JSON, and epoch CSVs — see the
+// Determinism section of DESIGN.md). The thermolint `detrange` analyzer
+// flags order-dependent map ranges in simulator packages; this package is
+// the sanctioned fix: iterate SortedKeys(m) instead of m.
+package detmap
+
+import (
+	"cmp"
+	"sort"
+)
+
+// SortedKeys returns the keys of m in ascending order. The slice is freshly
+// allocated; mutating it does not affect m.
+func SortedKeys[K cmp.Ordered, V any](m map[K]V) []K {
+	keys := make([]K, 0, len(m))
+	for k := range m { //lint:allow detrange key collection feeding an immediate sort
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}

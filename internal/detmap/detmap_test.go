@@ -1,0 +1,18 @@
+package detmap
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestSortedKeys(t *testing.T) {
+	m := map[uint64]string{9: "a", 3: "b", 7: "c", 1: "d"}
+	got := SortedKeys(m)
+	want := []uint64{1, 3, 7, 9}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("SortedKeys = %v, want %v", got, want)
+	}
+	if got := SortedKeys(map[string]int(nil)); len(got) != 0 {
+		t.Fatalf("SortedKeys(nil) = %v, want empty", got)
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"thermometer/internal/belady"
 	"thermometer/internal/btb"
 	"thermometer/internal/core"
+	"thermometer/internal/detmap"
 	"thermometer/internal/policy"
 	"thermometer/internal/profile"
 	"thermometer/internal/telemetry"
@@ -116,10 +117,11 @@ func (c *Context) Run(id string) []*Table {
 	if fn == nil {
 		panic("experiments: unknown experiment " + id)
 	}
-	start := time.Now()
+	start := time.Now() //lint:allow noambient wall-clock experiment timing for telemetry, not simulated time
 	tables := fn(c)
 	if c.Telemetry != nil {
-		c.Telemetry.Counter("exp_"+id+"_ms").Add(uint64(time.Since(start).Milliseconds()))
+		//lint:allow noambient wall-clock experiment timing for telemetry, not simulated time
+		c.Telemetry.Counter("exp_" + id + "_ms").Add(uint64(time.Since(start).Milliseconds()))
 		c.Telemetry.Counter("experiments_run").Inc()
 	}
 	return tables
@@ -256,10 +258,7 @@ var Registry = map[string]func(*Context) []*Table{
 
 // IDs returns the registered experiment IDs in a stable order.
 func IDs() []string {
-	out := make([]string, 0, len(Registry))
-	for id := range Registry {
-		out = append(out, id)
-	}
+	out := detmap.SortedKeys(Registry)
 	sort.Slice(out, func(i, j int) bool {
 		// table1 first, then figN numerically, then extras alphabetically.
 		num := func(s string) int {

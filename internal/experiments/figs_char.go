@@ -5,6 +5,7 @@ import (
 
 	"thermometer/internal/btb"
 	"thermometer/internal/core"
+	"thermometer/internal/detmap"
 	"thermometer/internal/metrics"
 	"thermometer/internal/policy"
 	"thermometer/internal/prefetch"
@@ -252,7 +253,8 @@ func Fig8(c *Context) []*Table {
 		reuse := metrics.ReuseSequences(tr.AccessStream(), sets)
 
 		var temp, typ, dist, bias, avgReuse []float64
-		for pc, b := range res.PerBranch {
+		for _, pc := range detmap.SortedKeys(res.PerBranch) {
+			b := res.PerBranch[pc]
 			s := stats[pc]
 			if s == nil {
 				continue
@@ -291,7 +293,8 @@ func Fig9(c *Context) []*Table {
 	for _, app := range workload.AppNames() {
 		res := beladyResult(c.AppTrace(app, 0))
 		var byp, miss [3]float64
-		for _, b := range res.PerBranch {
+		for _, pc := range detmap.SortedKeys(res.PerBranch) {
+			b := res.PerBranch[pc]
 			cat := pcfg.Categorize(b.HitToTaken())
 			byp[cat] += float64(b.Bypasses)
 			miss[cat] += float64(b.Bypasses + b.Inserts)

@@ -8,6 +8,7 @@ import (
 	"math"
 	"sort"
 
+	"thermometer/internal/detmap"
 	"thermometer/internal/trace"
 )
 
@@ -30,7 +31,8 @@ func ReuseSequences(accesses []trace.Access, sets int) map[uint64][]float64 {
 		perSet[s] = append(perSet[s], i)
 	}
 	out := make(map[uint64][]float64, 1<<10)
-	for _, idxs := range perSet {
+	for _, set := range detmap.SortedKeys(perSet) {
+		idxs := perSet[set]
 		n := len(idxs)
 		if n == 0 {
 			continue
@@ -159,7 +161,8 @@ func (v VarianceSummary) Ratio() float64 {
 func SummarizeVariance(accesses []trace.Access, sets, minSamples int) VarianceSummary {
 	seqs := ReuseSequences(accesses, sets)
 	var sum VarianceSummary
-	for _, a := range seqs {
+	for _, pc := range detmap.SortedKeys(seqs) {
+		a := seqs[pc]
 		if len(a) < minSamples {
 			continue
 		}

@@ -1,0 +1,49 @@
+package profile
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzParseHints feeds arbitrary bytes to the THRMHNT1 decoder. The decoder
+// must never panic or over-allocate on corrupt input, and any input it
+// accepts must survive a write/read round trip unchanged.
+func FuzzParseHints(f *testing.F) {
+	// Seed: a small valid hint table under the default 3-category config.
+	valid := &HintTable{
+		Config: DefaultConfig(),
+		Hints:  map[uint64]uint8{0x1000: 0, 0x2000: 1, 0x3000: 2},
+	}
+	var buf bytes.Buffer
+	if err := valid.Write(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte("THRMHNT1"))                                     // magic only, truncated header
+	f.Add([]byte("THRMHNT1\x02\x00\x00\x00\xff\xff\xff\xff\x0f")) // huge declared count
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ht, err := ReadHints(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var out bytes.Buffer
+		if err := ht.Write(&out); err != nil {
+			t.Fatalf("re-encoding accepted hint table: %v", err)
+		}
+		ht2, err := ReadHints(&out)
+		if err != nil {
+			t.Fatalf("re-decoding round trip: %v", err)
+		}
+		if len(ht.Hints) != len(ht2.Hints) || ht.Config.DefaultCategory != ht2.Config.DefaultCategory {
+			t.Fatalf("round trip mismatch: %d/%d hints, default %d/%d",
+				len(ht.Hints), len(ht2.Hints), ht.Config.DefaultCategory, ht2.Config.DefaultCategory)
+		}
+		for pc, c := range ht.Hints {
+			if ht2.Hints[pc] != c {
+				t.Fatalf("hint %#x mismatch: %d vs %d", pc, c, ht2.Hints[pc])
+			}
+		}
+	})
+}

@@ -16,6 +16,7 @@ import (
 	"sort"
 
 	"thermometer/internal/belady"
+	"thermometer/internal/detmap"
 	"thermometer/internal/trace"
 )
 
@@ -106,8 +107,8 @@ func Build(res *belady.Result, cfg Config) (*HintTable, error) {
 		return nil, err
 	}
 	t := &HintTable{Config: cfg, Hints: make(map[uint64]uint8, len(res.PerBranch))}
-	for pc, b := range res.PerBranch {
-		t.Hints[pc] = cfg.Categorize(b.HitToTaken())
+	for _, pc := range detmap.SortedKeys(res.PerBranch) {
+		t.Hints[pc] = cfg.Categorize(res.PerBranch[pc].HitToTaken())
 	}
 	return t, nil
 }
@@ -170,8 +171,8 @@ func QuantileThresholds(res *belady.Result, categories int) []float64 {
 		panic("profile: need at least 2 categories")
 	}
 	ratios := make([]float64, 0, len(res.PerBranch))
-	for _, b := range res.PerBranch {
-		ratios = append(ratios, b.HitToTaken())
+	for _, pc := range detmap.SortedKeys(res.PerBranch) {
+		ratios = append(ratios, res.PerBranch[pc].HitToTaken())
 	}
 	sort.Float64s(ratios)
 	out := make([]float64, 0, categories-1)
@@ -225,11 +226,7 @@ func (t *HintTable) Write(w io.Writer) error {
 		return err
 	}
 	// Sort PCs for deterministic output and good delta compression.
-	pcs := make([]uint64, 0, len(t.Hints))
-	for pc := range t.Hints {
-		pcs = append(pcs, pc)
-	}
-	sort.Slice(pcs, func(i, j int) bool { return pcs[i] < pcs[j] })
+	pcs := detmap.SortedKeys(t.Hints)
 	var prev uint64
 	for _, pc := range pcs {
 		if err := putU(pc - prev); err != nil {
@@ -280,7 +277,13 @@ func ReadHints(r io.Reader) (*HintTable, error) {
 	if n > 1<<30 {
 		return nil, fmt.Errorf("profile: unreasonable hint count %d", n)
 	}
-	t := &HintTable{Config: cfg, Hints: make(map[uint64]uint8, n)}
+	// Cap the preallocation: n comes from the file and a corrupt header must
+	// not allocate a gigantic map before the body fails to parse.
+	prealloc := n
+	if prealloc > 1<<16 {
+		prealloc = 1 << 16
+	}
+	t := &HintTable{Config: cfg, Hints: make(map[uint64]uint8, prealloc)}
 	var pc uint64
 	for i := uint64(0); i < n; i++ {
 		d, err := binary.ReadUvarint(br)

@@ -63,8 +63,8 @@ type Epoch struct {
 
 	// Occupancy is the fraction of valid BTB entries at epoch close;
 	// TempOccupancy[t] is the fraction of capacity holding temperature t.
-	Occupancy     float64                   `json:"occupancy"`
-	TempOccupancy [NumTemperatures]float64  `json:"temp_occupancy"`
+	Occupancy     float64                  `json:"occupancy"`
+	TempOccupancy [NumTemperatures]float64 `json:"temp_occupancy"`
 }
 
 // EpochSampler cuts a run into fixed-length instruction epochs and records

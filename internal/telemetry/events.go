@@ -74,9 +74,9 @@ type Event struct {
 // always available at a fixed memory cost. The zero value is unusable; use
 // NewTracer.
 type Tracer struct {
-	buf   []Event
-	head  int    // index of the next write
-	total uint64 // events ever recorded
+	buf    []Event
+	head   int    // index of the next write
+	total  uint64 // events ever recorded
 	byKind [numEventKinds]uint64
 }
 

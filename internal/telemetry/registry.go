@@ -20,6 +20,8 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+
+	"thermometer/internal/detmap"
 )
 
 // Counter is a monotonically increasing uint64 metric. The zero value is
@@ -128,14 +130,14 @@ func (r *Registry) Snapshot() Snapshot {
 		Gauges:     make(map[string]uint64, len(r.gauges)),
 		Histograms: make(map[string]HistogramSnapshot, len(r.histograms)),
 	}
-	for name, c := range r.counters {
-		s.Counters[name] = c.Value()
+	for _, name := range detmap.SortedKeys(r.counters) {
+		s.Counters[name] = r.counters[name].Value()
 	}
-	for name, g := range r.gauges {
-		s.Gauges[name] = g.Value()
+	for _, name := range detmap.SortedKeys(r.gauges) {
+		s.Gauges[name] = r.gauges[name].Value()
 	}
-	for name, h := range r.histograms {
-		s.Histograms[name] = h.Snapshot()
+	for _, name := range detmap.SortedKeys(r.histograms) {
+		s.Histograms[name] = r.histograms[name].Snapshot()
 	}
 	return s
 }
@@ -146,15 +148,9 @@ func (r *Registry) Names() []string {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	names := make([]string, 0, len(r.counters)+len(r.gauges)+len(r.histograms))
-	for n := range r.counters {
-		names = append(names, n)
-	}
-	for n := range r.gauges {
-		names = append(names, n)
-	}
-	for n := range r.histograms {
-		names = append(names, n)
-	}
+	names = append(names, detmap.SortedKeys(r.counters)...)
+	names = append(names, detmap.SortedKeys(r.gauges)...)
+	names = append(names, detmap.SortedKeys(r.histograms)...)
 	sort.Strings(names)
 	return names
 }

@@ -39,9 +39,9 @@ func TestHistogramBucketBoundaries(t *testing.T) {
 	// previous.
 	h := NewHistogram()
 	for i := 1; i < 20; i++ {
-		h.Observe(1 << uint(i))        // lower edge of bucket i+1
-		h.Observe(1<<uint(i+1) - 1)    // upper edge of bucket i+1
-		h.Observe(1<<uint(i) - 1)      // upper edge of bucket i
+		h.Observe(1 << uint(i))     // lower edge of bucket i+1
+		h.Observe(1<<uint(i+1) - 1) // upper edge of bucket i+1
+		h.Observe(1<<uint(i) - 1)   // upper edge of bucket i
 	}
 	snap := h.Snapshot()
 	if snap.Count != 57 {
@@ -84,7 +84,7 @@ func TestEpochSamplerAlignmentAtTraceEnd(t *testing.T) {
 	tick(60, 50)
 	tick(130, 120) // crosses 100 → epoch [0,130)
 	tick(190, 170)
-	tick(250, 260) // crosses 200 → epoch [130,250)
+	tick(250, 260)                                        // crosses 200 → epoch [130,250)
 	s.Finish(&Cumulative{Instructions: 275, Cycles: 300}) // partial tail
 
 	eps := s.Epochs()

@@ -90,7 +90,13 @@ func Read(r io.Reader) (*Trace, error) {
 	if err != nil {
 		return nil, err
 	}
-	t := &Trace{Name: sr.Name(), Records: make([]Record, 0, sr.Len())}
+	// Cap the preallocation: the header's declared count is untrusted, and a
+	// tiny corrupt file claiming 2^34 records must not allocate gigabytes.
+	prealloc := sr.Len()
+	if prealloc > 1<<16 {
+		prealloc = 1 << 16
+	}
+	t := &Trace{Name: sr.Name(), Records: make([]Record, 0, prealloc)}
 	for {
 		rec, err := sr.Next()
 		if err == io.EOF {

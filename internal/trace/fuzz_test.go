@@ -1,0 +1,57 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzParseTrace feeds arbitrary bytes to the THRMTRC1 decoder. The decoder
+// must never panic or over-allocate on corrupt input, and any input it
+// accepts must survive a write/read round trip unchanged.
+func FuzzParseTrace(f *testing.F) {
+	// Seed: a small valid trace of every branch type.
+	valid := &Trace{
+		Name: "seed",
+		Records: []Record{
+			{PC: 0x1000, Target: 0x2000, Type: UncondDirect, Taken: true},
+			{PC: 0x1008, Target: 0x3000, Type: CondDirect, Taken: true},
+			{PC: 0x1010, Target: 0, Type: CondDirect, Taken: false},
+			{PC: 0x1018, Target: 0x4000, Type: IndirectJump, Taken: true},
+			{PC: 0x1020, Target: 0x5000, Type: Call, Taken: true},
+			{PC: 0x1028, Target: 0x6000, Type: IndirectCall, Taken: true},
+			{PC: 0x6000, Target: 0x1030, Type: Return, Taken: true},
+		},
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, valid); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte("THRMTRC1"))                                         // magic only, truncated header
+	f.Add([]byte("THRMTRC1\x00\xff\xff\xff\xff\xff\xff\xff\xff\x7f")) // huge declared count
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := Read(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var out bytes.Buffer
+		if err := Write(&out, tr); err != nil {
+			t.Fatalf("re-encoding accepted trace: %v", err)
+		}
+		tr2, err := Read(&out)
+		if err != nil {
+			t.Fatalf("re-decoding round trip: %v", err)
+		}
+		if tr.Name != tr2.Name || len(tr.Records) != len(tr2.Records) {
+			t.Fatalf("round trip mismatch: %q/%d vs %q/%d",
+				tr.Name, len(tr.Records), tr2.Name, len(tr2.Records))
+		}
+		for i := range tr.Records {
+			if tr.Records[i] != tr2.Records[i] {
+				t.Fatalf("record %d mismatch: %+v vs %+v", i, tr.Records[i], tr2.Records[i])
+			}
+		}
+	})
+}
