@@ -14,6 +14,13 @@
 //	btbsim -trace kafka0.trc -events out.trace.json            # Chrome trace
 //	btbsim -trace kafka0.trc -epochcsv epochs.csv              # CSV series
 //	btbsim -trace kafka0.trc -http :6060                       # live expvar/pprof
+//
+// Miss attribution and replacement-regret audit (package attribution):
+//
+//	btbsim -trace kafka0.trc -attrib                           # text report
+//	btbsim -trace kafka0.trc -attrib -regret-top 40            # more branches
+//	btbsim -trace kafka0.trc -heatmap heat.csv                 # per-set series
+//	btbsim -trace kafka0.trc -attrib -http :6060               # live /debug/attrib
 package main
 
 import (
@@ -25,6 +32,7 @@ import (
 	"sort"
 	"strings"
 
+	"thermometer/internal/attribution"
 	"thermometer/internal/bpred"
 	"thermometer/internal/btb"
 	"thermometer/internal/core"
@@ -90,6 +98,10 @@ func main() {
 		predictor = flag.String("predictor", "tage", "direction predictor: tage, perceptron, gshare, bimodal")
 		twoLevel  = flag.Bool("twolevel", false, "use a 1K+8K two-level BTB organization")
 		compare   = flag.Bool("compare", false, "also run the LRU baseline and report speedup")
+
+		attrib      = flag.Bool("attrib", false, "attach the miss-attribution/regret audit layer and print its report")
+		regretTop   = flag.Int("regret-top", 20, "number of most-regretted branches in the attribution report")
+		heatmapPath = flag.String("heatmap", "", "write the per-set occupancy/temperature heatmap as CSV (implies attribution)")
 
 		metricsPath  = flag.String("metrics", "", "write telemetry report (counters, histograms, epoch series) as JSON")
 		eventsPath   = flag.String("events", "", "write BTB/redirect event trace as Chrome trace_event JSON")
@@ -174,9 +186,23 @@ func main() {
 		}
 	}
 
+	// Attach the attribution recorder when requested. The heatmap samples on
+	// the telemetry epoch grid, so -heatmap also forces an observer below.
+	var att *attribution.Recorder
+	if *attrib || *heatmapPath != "" {
+		if *twoLevel {
+			fatalf("-attrib/-heatmap require a monolithic BTB (drop -twolevel)")
+		}
+		if *regretTop <= 0 {
+			fatalf("-regret-top must be positive")
+		}
+		att = attribution.New(attribution.Options{})
+		cfg.Attribution = att
+	}
+
 	// Attach the observer when any telemetry sink is requested.
 	var obs *telemetry.Observer
-	if *metricsPath != "" || *eventsPath != "" || *epochCSVPath != "" || *httpAddr != "" {
+	if *metricsPath != "" || *eventsPath != "" || *epochCSVPath != "" || *httpAddr != "" || *heatmapPath != "" {
 		opts := telemetry.Options{EpochInterval: *epoch}
 		if *eventsPath != "" || *httpAddr != "" {
 			opts.EventCap = *eventCap
@@ -185,12 +211,18 @@ func main() {
 		cfg.Observer = obs
 	}
 	if obs != nil && *httpAddr != "" {
-		bound, shutdown, err := obs.Serve(*httpAddr)
+		var mounts []telemetry.Mount
+		routes := "/metrics, /debug/vars, /debug/pprof"
+		if att != nil {
+			mounts = append(mounts, telemetry.Mount{Pattern: "/debug/attrib", Handler: att.Handler()})
+			routes += ", /debug/attrib"
+		}
+		bound, shutdown, err := obs.Serve(*httpAddr, mounts...)
 		if err != nil {
 			fatalf("telemetry http: %v", err)
 		}
 		defer shutdown()
-		fmt.Printf("telemetry: serving /metrics, /debug/vars, /debug/pprof on %s\n", bound)
+		fmt.Printf("telemetry: serving %s on %s\n", routes, bound)
 	}
 
 	// Run manifest: everything needed to reproduce this run from the log.
@@ -208,6 +240,7 @@ func main() {
 		"hints":     *hintsPath,
 		"warmup":    fmt.Sprintf("%g", cfg.WarmupFrac),
 		"epoch":     fmt.Sprintf("%d", *epoch),
+		"attrib":    fmt.Sprintf("%v", att != nil),
 	}
 	keys := make([]string, 0, len(manifest))
 	for k := range manifest {
@@ -237,6 +270,35 @@ func main() {
 
 	if obs != nil {
 		writeSinks(obs, manifest, *metricsPath, *eventsPath, *epochCSVPath)
+		if ev := obs.Events; ev != nil {
+			if d := ev.Dropped(); d > 0 {
+				fmt.Fprintf(os.Stderr,
+					"btbsim: warning: event ring truncated: %d events dropped, last %d retained (raise -eventcap); dropped_events records the count in -metrics output\n",
+					d, ev.Cap())
+			}
+		}
+	}
+	if att != nil {
+		if *attrib {
+			fmt.Println()
+			if err := att.WriteText(os.Stdout, *regretTop); err != nil {
+				fatalf("write attribution report: %v", err)
+			}
+		}
+		if *heatmapPath != "" {
+			f, err := os.Create(*heatmapPath)
+			if err != nil {
+				fatalf("create heatmap CSV: %v", err)
+			}
+			if err := att.WriteHeatCSV(f); err != nil {
+				f.Close()
+				fatalf("write heatmap CSV: %v", err)
+			}
+			if err := f.Close(); err != nil {
+				fatalf("close heatmap CSV: %v", err)
+			}
+			fmt.Printf("  attribution: wrote heatmap CSV to %s\n", *heatmapPath)
+		}
 	}
 
 	if *compare && *polName != "lru" {
@@ -244,7 +306,8 @@ func main() {
 			c := cfg
 			c.NewPolicy = func() btb.Policy { return policy.NewLRU() }
 			c.Hints = nil
-			c.Observer = nil // telemetry describes the primary run only
+			c.Observer = nil    // telemetry describes the primary run only
+			c.Attribution = nil // likewise the attribution audit
 			return c
 		}())
 		fmt.Printf("  speedup over LRU: %.2f%% (LRU IPC %.3f)\n",

@@ -1,10 +1,13 @@
 // Command paperfigs regenerates the tables and figures of the paper's
-// evaluation (Table 1 and Figs 1-9, 11-21).
+// evaluation (Table 1 and Figs 1-9, 11-21), plus repo-specific extras:
+// "ablations" (design-choice ablations) and "regret" (the attribution
+// layer's miss-taxonomy and replacement-regret-vs-OPT audit).
 //
 // Usage:
 //
 //	paperfigs -exp fig11              # one experiment at full scale
 //	paperfigs -exp all -scale 4       # everything at quarter-length traces
+//	paperfigs -exp regret -scale 8    # decision audit vs OPT, short traces
 //	paperfigs -exp all -http :6060    # live expvar/pprof during the sweep
 //	paperfigs -exp all -metrics sweep.json
 //	paperfigs -list

@@ -35,6 +35,7 @@ var GuardedTypes = []string{
 	"thermometer/internal/telemetry.EpochSampler",
 	"thermometer/internal/telemetry.Tracer",
 	"thermometer/internal/core.observerState",
+	"thermometer/internal/attribution.Recorder",
 }
 
 // Analyzer is the observernil pass.

@@ -8,6 +8,6 @@ import (
 
 func TestObservernil(t *testing.T) {
 	defer func(old []string) { GuardedTypes = old }(GuardedTypes)
-	GuardedTypes = []string{"obsniltest.Observer"}
+	GuardedTypes = []string{"obsniltest.Observer", "obsniltest.Recorder"}
 	analysistest.Run(t, "testdata", Analyzer, "obsniltest")
 }

@@ -82,3 +82,46 @@ func badDeclaredNil() {
 	var o *Observer
 	o.Probe() // want `possibly-nil o is not dominated by a nil check`
 }
+
+// Recorder mirrors attribution.Recorder: a second guarded type carried as an
+// optional field next to the observer, fed from the same probe stream.
+type Recorder struct{ n int }
+
+// OnEvict and SampleHeat are attribution probe methods.
+func (r *Recorder) OnEvict()    { r.n++ }
+func (r *Recorder) SampleHeat() { r.n++ }
+
+// probeState mirrors core.observerState: obs is checked once at attach time,
+// att may stay nil for observer-only runs.
+type probeState struct {
+	obs *Observer
+	att *Recorder
+}
+
+func badAttribProbe(s *probeState) {
+	s.att.OnEvict() // want `call to \(\*obsniltest.Recorder\).OnEvict on possibly-nil s.att is not dominated by a nil check`
+}
+
+func badAttribUnderObserverGuard(s *probeState) {
+	// Guarding the observer does not guard the recorder.
+	if s.obs != nil {
+		s.att.SampleHeat() // want `not dominated by a nil check`
+	}
+}
+
+func goodAttribProbe(s *probeState) {
+	if s.att != nil {
+		s.att.OnEvict()
+	}
+}
+
+func goodAttribEpochTick(s *probeState) {
+	// The real wiring: heat sampling rides the epoch tick inside the
+	// observer path, with its own recorder guard.
+	if s.obs != nil {
+		s.obs.Probe()
+		if s.att != nil {
+			s.att.SampleHeat()
+		}
+	}
+}

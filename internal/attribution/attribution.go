@@ -1,0 +1,444 @@
+// Package attribution turns the telemetry subsystem's aggregate counters
+// into explainable per-decision records: *which* BTB evictions cost cycles
+// and *why* a replacement policy diverges from Belady OPT.
+//
+// Three cooperating pieces, all driven from the simulator's observer probes
+// (package core forwards btb.ProbeFunc events when a Recorder is attached):
+//
+//   - a miss classifier that tags every demand BTB miss as compulsory
+//     (first touch), conflict (would hit a fully-associative Belady model of
+//     equal capacity), or capacity (misses even fully-associative) — the
+//     three classes always sum to the demand miss count;
+//   - a regret tracer that records every replacement decision (eviction or
+//     bypass) with the policy's choice and Belady's choice over the same
+//     residents, then charges later misses of evicted-too-early branches
+//     back to the decision that evicted them. The identity
+//     charged − windfall = policy misses − OPT misses holds exactly,
+//     because every access is scored against a same-geometry incremental
+//     Belady shadow (belady.Shadow);
+//   - a per-set occupancy and temperature heatmap sampled on the telemetry
+//     epoch grid.
+//
+// Bounded state: the decision ring retains the last RingCap decisions and
+// the heatmap the last HeatCap epoch rows; the regret tables and the
+// pending-decision index grow with the static-branch working set (the same
+// bound as the profiler itself), never with trace length.
+//
+// The Recorder is safe for concurrent use: the simulator mutates it while
+// the live debug surface (/debug/attrib) reads snapshots.
+package attribution
+
+import (
+	"sync"
+
+	"thermometer/internal/belady"
+	"thermometer/internal/btb"
+)
+
+// MissClass is the taxonomy bucket of one demand BTB miss.
+type MissClass uint8
+
+// Miss classes.
+const (
+	// MissCompulsory: the branch had never been demand-accessed before.
+	MissCompulsory MissClass = iota
+	// MissCapacity: a fully-associative Belady-managed BTB of equal
+	// capacity would also have missed.
+	MissCapacity
+	// MissConflict: the fully-associative model holds the branch — the miss
+	// is caused by set conflicts under modulo indexing.
+	MissConflict
+	numMissClasses
+)
+
+// String returns the lower-case class name.
+func (c MissClass) String() string {
+	switch c {
+	case MissCompulsory:
+		return "compulsory"
+	case MissCapacity:
+		return "capacity"
+	case MissConflict:
+		return "conflict"
+	default:
+		return "unknown"
+	}
+}
+
+// Decision is one recorded replacement decision: an eviction, or a bypass
+// (the policy declined to insert the incoming branch). For bypasses
+// Way = -1 and VictimPC equals IncomingPC (the branch denied residency).
+type Decision struct {
+	// Cycle is the simulated cycle of the decision; Index its position in
+	// the demand access stream.
+	Cycle uint64 `json:"cycle"`
+	Index int    `json:"index"`
+	// Set and Way locate the policy's choice (Way = -1 for a bypass).
+	Set int `json:"set"`
+	Way int `json:"way"`
+	// VictimPC is the displaced branch, IncomingPC the branch inserted in
+	// its place.
+	VictimPC   uint64 `json:"victim_pc"`
+	IncomingPC uint64 `json:"incoming_pc"`
+	// VictimTemp and IncomingTemp are the stored Thermometer hint bits.
+	VictimTemp   uint8 `json:"victim_temp"`
+	IncomingTemp uint8 `json:"incoming_temp"`
+	// OPTWay is what Belady would evict given the same residents' future
+	// uses (-1: Belady would bypass the incoming branch instead).
+	OPTWay int `json:"opt_way"`
+	// Agree reports whether the policy made Belady's choice.
+	Agree bool `json:"agree"`
+	// Regret counts misses charged back to this decision so far.
+	Regret uint64 `json:"regret"`
+}
+
+// SetRegret aggregates decisions and charged regret for one BTB set.
+type SetRegret struct {
+	Evictions uint64 `json:"evictions"`
+	Bypasses  uint64 `json:"bypasses"`
+	Charged   uint64 `json:"charged"`
+}
+
+// BranchRegret aggregates per static branch: how often it was the victim of
+// an eviction or bypass decision, and how many later misses those decisions
+// were charged for.
+type BranchRegret struct {
+	PC        uint64 `json:"pc"`
+	Evictions uint64 `json:"evictions"`
+	Bypasses  uint64 `json:"bypasses"`
+	Charged   uint64 `json:"charged"`
+}
+
+// HeatRow is one heatmap sample: per-set valid-entry counts and stored-
+// temperature sums at an epoch boundary.
+type HeatRow struct {
+	EndInstr uint64   `json:"end_instr"`
+	Valid    []uint16 `json:"valid"`
+	TempSum  []uint16 `json:"temp_sum"`
+}
+
+// Options sizes a Recorder's bounded buffers.
+type Options struct {
+	// RingCap is the decision ring capacity (default 4096, minimum 1).
+	RingCap int
+	// HeatCap is the number of heatmap epoch rows retained (default 1024,
+	// minimum 1; oldest rows are dropped first).
+	HeatCap int
+}
+
+// Recorder is the attribution engine. Create with New, attach via
+// core.Config.Attribution (alongside a telemetry Observer), and read with
+// Report, WriteText, WriteHeatCSV, or the /debug/attrib Handler.
+type Recorder struct {
+	mu sync.Mutex
+
+	policy     string
+	sets, ways int
+
+	// Shadow reference models.
+	fa   *belady.FAShadow // equal-capacity fully-associative: classifier
+	opt  *belady.Shadow   // same-geometry Belady: regret reference
+	seen map[uint64]struct{}
+
+	// nextUse mirrors the *real* BTB residents' next-use positions (updated
+	// on every hit/fill probe), so Belady's choice over the actual set
+	// contents is computable at decision time.
+	nextUse []int
+
+	// Miss classification (post-warmup).
+	classes  [numMissClasses]uint64
+	accesses uint64
+	hits     uint64
+	misses   uint64
+
+	// Regret accounting (post-warmup).
+	evictions    uint64
+	bypasses     uint64
+	agreeOPT     uint64
+	charged      uint64
+	unattributed uint64
+	windfall     uint64
+
+	// pending maps an evicted (or bypassed) branch to the decision that
+	// last denied it residency; its next demand miss is charged there.
+	pending   map[uint64]*Decision
+	perSet    []SetRegret
+	perBranch map[uint64]*BranchRegret
+
+	// Decision ring (last RingCap decisions).
+	ring      []*Decision
+	ringHead  int
+	ringTotal uint64
+
+	// Heatmap ring (last HeatCap epoch rows).
+	heat      []HeatRow
+	heatHead  int
+	heatTotal uint64
+	heatCap   int
+	ringCap   int
+}
+
+// New returns an unbound Recorder; the simulator calls Bind at attach time.
+func New(opts Options) *Recorder {
+	if opts.RingCap < 1 {
+		opts.RingCap = 4096
+	}
+	if opts.HeatCap < 1 {
+		opts.HeatCap = 1024
+	}
+	return &Recorder{ringCap: opts.RingCap, heatCap: opts.HeatCap}
+}
+
+// Bind sizes the recorder for one run: the policy under audit and the BTB
+// geometry. It clears all recorded state.
+func (r *Recorder) Bind(policy string, sets, ways int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.policy = policy
+	r.sets, r.ways = sets, ways
+	r.fa = belady.NewFAShadow(sets * ways)
+	r.opt = belady.NewShadow(sets, ways)
+	r.seen = make(map[uint64]struct{}, 1<<12)
+	r.nextUse = make([]int, sets*ways)
+	r.pending = make(map[uint64]*Decision, 1<<10)
+	r.perSet = make([]SetRegret, sets)
+	r.perBranch = make(map[uint64]*BranchRegret, 1<<10)
+	r.ring = make([]*Decision, 0, r.ringCap)
+	r.heat = make([]HeatRow, 0, r.heatCap)
+	r.classes = [numMissClasses]uint64{}
+	r.accesses, r.hits, r.misses = 0, 0, 0
+	r.evictions, r.bypasses, r.agreeOPT = 0, 0, 0
+	r.charged, r.unattributed, r.windfall = 0, 0, 0
+	r.ringHead, r.ringTotal = 0, 0
+	r.heatHead, r.heatTotal = 0, 0
+}
+
+// bound reports whether Bind has run (all probe entry points no-op before).
+func (r *Recorder) bound() bool { return r.nextUse != nil }
+
+// processDemand scores one demand access against both shadow models,
+// classifies it on a miss, and charges regret to the responsible pending
+// decision. Caller holds r.mu.
+func (r *Recorder) processDemand(req *btb.Request, hit bool) {
+	faHit := r.fa.Access(req.PC, req.NextUse)
+	out, _ := r.opt.Access(req.PC, req.NextUse)
+	optHit := out == belady.ShadowHit
+	_, seenBefore := r.seen[req.PC]
+	if !seenBefore {
+		r.seen[req.PC] = struct{}{}
+	}
+
+	r.accesses++
+	if hit {
+		r.hits++
+		if !optHit {
+			// The policy kept something Belady sacrificed: a windfall hit.
+			r.windfall++
+		}
+		return
+	}
+	r.misses++
+	switch {
+	case !seenBefore:
+		r.classes[MissCompulsory]++
+	case faHit:
+		r.classes[MissConflict]++
+	default:
+		r.classes[MissCapacity]++
+	}
+	if optHit {
+		// Belady kept this branch; the policy's earlier decision to evict
+		// or bypass it costs this miss.
+		r.charged++
+		if d := r.pending[req.PC]; d != nil {
+			d.Regret++
+			r.perSet[d.Set].Charged++
+			r.branch(d.VictimPC).Charged++
+		} else {
+			r.unattributed++
+		}
+	}
+}
+
+func (r *Recorder) branch(pc uint64) *BranchRegret {
+	b := r.perBranch[pc]
+	if b == nil {
+		b = &BranchRegret{PC: pc}
+		r.perBranch[pc] = b
+	}
+	return b
+}
+
+// optChoice computes Belady's victim for one full set given the mirrored
+// residents' next uses: the furthest-reused way, or -1 when the incoming
+// request itself is furthest (bypass). Caller holds r.mu.
+func (r *Recorder) optChoice(set int, req *btb.Request) int {
+	base := set * r.ways
+	choice, furthest := -1, req.NextUse
+	for w := 0; w < r.ways; w++ {
+		if nu := r.nextUse[base+w]; nu > furthest {
+			furthest = nu
+			choice = w
+		}
+	}
+	return choice
+}
+
+func (r *Recorder) pushRing(d *Decision) {
+	if len(r.ring) < r.ringCap {
+		r.ring = append(r.ring, d)
+	} else {
+		r.ring[r.ringHead] = d
+		r.ringHead++
+		if r.ringHead == r.ringCap {
+			r.ringHead = 0
+		}
+	}
+	r.ringTotal++
+}
+
+// OnHit records a demand hit in set/way.
+func (r *Recorder) OnHit(set, way int, req *btb.Request) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.bound() {
+		return
+	}
+	r.processDemand(req, true)
+	r.nextUse[set*r.ways+way] = req.NextUse
+}
+
+// OnInsert records a demand miss that filled set/way (after any eviction,
+// which arrives first via OnEvict).
+func (r *Recorder) OnInsert(set, way int, req *btb.Request) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.bound() {
+		return
+	}
+	r.processDemand(req, false)
+	// The branch is resident again: its pending decision (if any) has been
+	// charged for the last time.
+	delete(r.pending, req.PC)
+	r.nextUse[set*r.ways+way] = req.NextUse
+}
+
+// OnEvict records one eviction decision: the policy displaced victim from
+// set/way to admit req. It must be called before the matching OnInsert /
+// OnPrefetchFill, while the mirrored next-use table still describes the
+// victim (btb.ProbeFunc delivers events in that order).
+func (r *Recorder) OnEvict(cycle uint64, set, way int, req *btb.Request, victim *btb.Entry) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.bound() {
+		return
+	}
+	optWay := r.optChoice(set, req)
+	d := &Decision{
+		Cycle: cycle, Index: req.Index, Set: set, Way: way,
+		VictimPC: victim.PC, IncomingPC: req.PC,
+		VictimTemp: victim.Temperature, IncomingTemp: req.Temperature,
+		OPTWay: optWay, Agree: optWay == way,
+	}
+	r.evictions++
+	if d.Agree {
+		r.agreeOPT++
+	}
+	r.perSet[set].Evictions++
+	r.branch(victim.PC).Evictions++
+	r.pending[victim.PC] = d
+	r.pushRing(d)
+}
+
+// OnBypass records a demand miss the policy declined to insert — a decision
+// whose "victim" is the incoming branch itself.
+func (r *Recorder) OnBypass(cycle uint64, set int, req *btb.Request) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.bound() {
+		return
+	}
+	r.processDemand(req, false)
+	optWay := r.optChoice(set, req)
+	d := &Decision{
+		Cycle: cycle, Index: req.Index, Set: set, Way: -1,
+		VictimPC: req.PC, IncomingPC: req.PC,
+		VictimTemp: req.Temperature, IncomingTemp: req.Temperature,
+		OPTWay: optWay, Agree: optWay == -1,
+	}
+	r.bypasses++
+	if d.Agree {
+		r.agreeOPT++
+	}
+	r.perSet[set].Bypasses++
+	r.branch(req.PC).Bypasses++
+	r.pending[req.PC] = d
+	r.pushRing(d)
+}
+
+// OnPrefetchFill records a prefetcher-initiated fill of set/way: not a
+// demand access (the shadow models see only the demand stream), but the
+// branch is resident again and its mirrored next-use becomes known.
+func (r *Recorder) OnPrefetchFill(set, way int, req *btb.Request) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.bound() {
+		return
+	}
+	delete(r.pending, req.PC)
+	r.nextUse[set*r.ways+way] = req.NextUse
+}
+
+// SampleHeat appends one heatmap row from the live BTB. Call it on the
+// telemetry epoch grid; the walk is O(capacity).
+func (r *Recorder) SampleHeat(instr uint64, b *btb.BTB) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.bound() {
+		return
+	}
+	row := HeatRow{
+		EndInstr: instr,
+		Valid:    make([]uint16, r.sets),
+		TempSum:  make([]uint16, r.sets),
+	}
+	for s := 0; s < r.sets && s < b.Sets(); s++ {
+		valid, temp := b.SetCensus(s)
+		row.Valid[s] = uint16(valid)
+		row.TempSum[s] = uint16(temp)
+	}
+	if len(r.heat) < r.heatCap {
+		r.heat = append(r.heat, row)
+	} else {
+		r.heat[r.heatHead] = row
+		r.heatHead++
+		if r.heatHead == r.heatCap {
+			r.heatHead = 0
+		}
+	}
+	r.heatTotal++
+}
+
+// OnWarmupReset restarts the measurement counters in lockstep with the
+// simulator's end-of-warmup statistics reset. Learned state — the shadow
+// model contents, the first-touch set, the mirrored next-use table, and
+// pending decisions — stays trained, exactly like the BTB itself.
+func (r *Recorder) OnWarmupReset() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.bound() {
+		return
+	}
+	r.fa.ResetStats()
+	r.opt.ResetStats()
+	r.classes = [numMissClasses]uint64{}
+	r.accesses, r.hits, r.misses = 0, 0, 0
+	r.evictions, r.bypasses, r.agreeOPT = 0, 0, 0
+	r.charged, r.unattributed, r.windfall = 0, 0, 0
+	r.perSet = make([]SetRegret, r.sets)
+	r.perBranch = make(map[uint64]*BranchRegret, 1<<10)
+	r.ring = r.ring[:0]
+	r.ringHead, r.ringTotal = 0, 0
+	r.heat = r.heat[:0]
+	r.heatHead, r.heatTotal = 0, 0
+}

@@ -1,0 +1,303 @@
+package attribution
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"thermometer/internal/btb"
+	"thermometer/internal/policy"
+	"thermometer/internal/trace"
+)
+
+// driveHandChecked replays a hand-checked 7-access stream against a 1x2
+// recorder, mimicking the probe sequence an LRU BTB would emit. Every
+// expectation below was computed by hand.
+func driveHandChecked(t *testing.T, r *Recorder) {
+	t.Helper()
+	r.Bind("lru", 1, 2)
+	req := func(pc uint64, idx, next int) *btb.Request {
+		return &btb.Request{PC: pc, Target: pc + 4, NextUse: next, Index: idx}
+	}
+	victim := func(pc uint64, temp uint8) *btb.Entry {
+		return &btb.Entry{Valid: true, PC: pc, Target: pc + 4, Temperature: temp}
+	}
+	const nn = trace.NoNextUse
+	r.OnInsert(0, 0, req(0xa, 0, 2)) // A: compulsory miss, fills way 0
+	r.OnInsert(0, 1, req(0xb, 1, 3)) // B: compulsory miss, fills way 1
+	r.OnHit(0, 0, req(0xa, 2, 4))
+	r.OnHit(0, 1, req(0xb, 3, nn))
+	// C misses; LRU evicts A (way 0). Belady would evict B (never reused).
+	r.OnEvict(40, 0, 0, req(0xc, 4, 6), victim(0xa, 2))
+	r.OnInsert(0, 0, req(0xc, 4, 6))
+	// A misses again — the shadow kept it, so the cycle-40 decision is
+	// charged. LRU then evicts B; Belady would bypass A (never reused).
+	r.OnEvict(50, 0, 1, req(0xa, 5, nn), victim(0xb, 0))
+	r.OnInsert(0, 1, req(0xa, 5, nn))
+	r.OnHit(0, 0, req(0xc, 6, nn))
+}
+
+func TestClassifierAndRegretHandChecked(t *testing.T) {
+	r := New(Options{})
+	driveHandChecked(t, r)
+	accesses, hits, misses, regret := r.Counts()
+	if accesses != 7 || hits != 3 {
+		t.Fatalf("accesses=%d hits=%d, want 7/3", accesses, hits)
+	}
+	if misses.Total != 4 || misses.Compulsory != 3 || misses.Conflict != 1 || misses.Capacity != 0 {
+		t.Fatalf("miss classes %+v, want total 4 = 3 compulsory + 1 conflict", misses)
+	}
+	if misses.Compulsory+misses.Capacity+misses.Conflict != misses.Total {
+		t.Fatalf("taxonomy not exhaustive: %+v", misses)
+	}
+	if regret.Decisions != 2 || regret.Evictions != 2 || regret.Bypasses != 0 {
+		t.Fatalf("decisions %+v, want 2 evictions", regret)
+	}
+	if regret.AgreeOPT != 0 {
+		t.Fatalf("agreeOPT=%d, want 0 (LRU diverged from Belady both times)", regret.AgreeOPT)
+	}
+	if regret.Charged != 1 || regret.Unattributed != 0 || regret.Windfall != 0 {
+		t.Fatalf("regret %+v, want exactly 1 attributed charge", regret)
+	}
+	if regret.ShadowOPTMisses != 3 || regret.Net != 1 {
+		t.Fatalf("net=%d shadowMisses=%d, want 1 and 3 (4 policy misses - 3 OPT)", regret.Net, regret.ShadowOPTMisses)
+	}
+
+	rep := r.Report(10)
+	if len(rep.RecentDecisions) != 2 || rep.DecisionsDropped != 0 {
+		t.Fatalf("ring: %d retained %d dropped", len(rep.RecentDecisions), rep.DecisionsDropped)
+	}
+	d0 := rep.RecentDecisions[0]
+	if d0.Cycle != 40 || d0.VictimPC != 0xa || d0.IncomingPC != 0xc ||
+		d0.Way != 0 || d0.OPTWay != 1 || d0.Agree || d0.Regret != 1 {
+		t.Fatalf("first decision %+v", d0)
+	}
+	d1 := rep.RecentDecisions[1]
+	if d1.Cycle != 50 || d1.VictimPC != 0xb || d1.OPTWay != -1 || d1.Agree || d1.Regret != 0 {
+		t.Fatalf("second decision %+v", d1)
+	}
+	if d0.VictimTemp != 2 {
+		t.Fatalf("victim temperature bits not recorded: %+v", d0)
+	}
+	if len(rep.TopBranches) == 0 || rep.TopBranches[0].PC != 0xa || rep.TopBranches[0].Charged != 1 {
+		t.Fatalf("top branches %+v, want 0xa charged once first", rep.TopBranches)
+	}
+	if len(rep.PerSet) != 1 || rep.PerSet[0].Evictions != 2 || rep.PerSet[0].Charged != 1 {
+		t.Fatalf("per-set %+v", rep.PerSet)
+	}
+}
+
+func TestBypassDecisionAndUnattributed(t *testing.T) {
+	r := New(Options{})
+	r.Bind("thermometer", 1, 1)
+	const nn = trace.NoNextUse
+	// A fills the single entry; B is denied (bypass). B's re-access misses
+	// and — since the shadow inserted B over A — is charged to the bypass.
+	r.OnInsert(0, 0, &btb.Request{PC: 0xa, NextUse: nn, Index: 0})
+	r.OnBypass(10, 0, &btb.Request{PC: 0xb, NextUse: 2, Index: 1, Temperature: 3})
+	r.OnBypass(20, 0, &btb.Request{PC: 0xb, NextUse: nn, Index: 2})
+
+	_, _, misses, regret := r.Counts()
+	if misses.Total != 3 || misses.Compulsory != 2 || misses.Conflict != 1 {
+		t.Fatalf("miss classes %+v", misses)
+	}
+	if regret.Bypasses != 2 || regret.Evictions != 0 {
+		t.Fatalf("regret %+v, want 2 bypass decisions", regret)
+	}
+	if regret.Charged != 1 || regret.Unattributed != 0 {
+		t.Fatalf("regret %+v, want the repeat miss charged to the first bypass", regret)
+	}
+	rep := r.Report(5)
+	if rep.RecentDecisions[0].Way != -1 || rep.RecentDecisions[0].VictimPC != 0xb ||
+		rep.RecentDecisions[0].Regret != 1 || rep.RecentDecisions[0].VictimTemp != 3 {
+		t.Fatalf("bypass decision %+v", rep.RecentDecisions[0])
+	}
+	// Belady would have inserted B (A is never reused): disagreement.
+	if rep.RecentDecisions[0].Agree {
+		t.Fatal("bypass of a reused branch over a dead resident should disagree with OPT")
+	}
+}
+
+func TestDecisionRingBounded(t *testing.T) {
+	r := New(Options{RingCap: 4})
+	r.Bind("lru", 4, 1)
+	for i := 0; i < 10; i++ {
+		pc := uint64(4*i) + 1 // all map to distinct sets mod 4... keep simple: set 1
+		r.OnEvict(uint64(i), 1, 0, &btb.Request{PC: pc, NextUse: trace.NoNextUse, Index: i},
+			&btb.Entry{Valid: true, PC: pc + 100})
+	}
+	rep := r.Report(1)
+	if len(rep.RecentDecisions) != 4 || rep.DecisionsDropped != 6 {
+		t.Fatalf("ring retained %d dropped %d, want 4/6", len(rep.RecentDecisions), rep.DecisionsDropped)
+	}
+	// Oldest-first ordering: cycles 6..9 survive.
+	for i, d := range rep.RecentDecisions {
+		if d.Cycle != uint64(6+i) {
+			t.Fatalf("ring order wrong at %d: cycle %d", i, d.Cycle)
+		}
+	}
+}
+
+func TestHeatmapSamplingBounded(t *testing.T) {
+	r := New(Options{HeatCap: 3})
+	r.Bind("lru", 8, 2)
+	b := btb.NewWithSets(8, 2, policy.NewLRU())
+	b.Access(&btb.Request{PC: 3, Target: 7, NextUse: trace.NoNextUse, Temperature: 2})
+	b.Access(&btb.Request{PC: 11, Target: 15, NextUse: trace.NoNextUse, Temperature: 1})
+	for i := 0; i < 5; i++ {
+		r.SampleHeat(uint64(1000*(i+1)), b)
+	}
+	rep := r.Report(1)
+	if len(rep.Heat) != 3 || rep.HeatDropped != 2 {
+		t.Fatalf("heat retained %d dropped %d, want 3/2", len(rep.Heat), rep.HeatDropped)
+	}
+	last := rep.Heat[len(rep.Heat)-1]
+	if last.EndInstr != 5000 {
+		t.Fatalf("last heat row at %d, want 5000", last.EndInstr)
+	}
+	// PCs 3 and 11 both land in set 3 (mod 8): 2 valid entries, temp sum 3.
+	if last.Valid[3] != 2 || last.TempSum[3] != 3 {
+		t.Fatalf("set 3 census valid=%d temp=%d, want 2/3", last.Valid[3], last.TempSum[3])
+	}
+	for s := 0; s < 8; s++ {
+		if s != 3 && last.Valid[s] != 0 {
+			t.Fatalf("set %d unexpectedly occupied", s)
+		}
+	}
+}
+
+func TestWarmupResetKeepsTrainedState(t *testing.T) {
+	r := New(Options{})
+	driveHandChecked(t, r)
+	r.OnWarmupReset()
+	accesses, _, misses, regret := r.Counts()
+	if accesses != 0 || misses.Total != 0 || regret.Decisions != 0 || regret.Charged != 0 {
+		t.Fatalf("counters survived reset: acc=%d %+v %+v", accesses, misses, regret)
+	}
+	rep := r.Report(1)
+	if len(rep.RecentDecisions) != 0 || len(rep.Heat) != 0 {
+		t.Fatal("rings survived reset")
+	}
+	// The first-touch set must persist: a post-reset re-access of a warmed
+	// branch is not compulsory.
+	r.OnBypass(100, 0, &btb.Request{PC: 0xa, NextUse: trace.NoNextUse, Index: 7})
+	_, _, misses, _ = r.Counts()
+	if misses.Total != 1 || misses.Compulsory != 0 {
+		t.Fatalf("post-reset miss classes %+v: warmed branch misclassified as compulsory", misses)
+	}
+}
+
+func TestUnboundRecorderIsInert(t *testing.T) {
+	r := New(Options{})
+	// No Bind: every entry point must be a safe no-op.
+	r.OnHit(0, 0, &btb.Request{PC: 1})
+	r.OnInsert(0, 0, &btb.Request{PC: 1})
+	r.OnEvict(1, 0, 0, &btb.Request{PC: 1}, &btb.Entry{})
+	r.OnBypass(1, 0, &btb.Request{PC: 1})
+	r.OnPrefetchFill(0, 0, &btb.Request{PC: 1})
+	r.OnWarmupReset()
+	r.SampleHeat(1, btb.NewWithSets(1, 1, policy.NewLRU()))
+	if rep := r.Report(1); rep.Accesses != 0 {
+		t.Fatalf("unbound recorder counted: %+v", rep)
+	}
+	// A client can snapshot the recorder before Bind (the HTTP server starts
+	// ahead of the simulation): the JSON body must still carry arrays, not
+	// nulls.
+	body, err := json.Marshal(r.Report(1))
+	if err != nil {
+		t.Fatalf("marshal unbound report: %v", err)
+	}
+	for _, field := range []string{"top_branches", "per_set", "recent_decisions", "heat"} {
+		if !strings.Contains(string(body), `"`+field+`":[]`) {
+			t.Errorf("unbound report %s is not an empty array: %s", field, body)
+		}
+	}
+}
+
+func TestHandlerEndpoints(t *testing.T) {
+	r := New(Options{})
+	driveHandChecked(t, r)
+	b := btb.NewWithSets(1, 2, policy.NewLRU())
+	b.Access(&btb.Request{PC: 5, Target: 9, NextUse: trace.NoNextUse})
+	r.SampleHeat(100, b)
+
+	srv := httptest.NewServer(r.Handler())
+	defer srv.Close()
+
+	for _, tc := range []struct {
+		path, wantType string
+		wantStatus     int
+	}{
+		{"/debug/attrib", "application/json", http.StatusOK},
+		{"/debug/attrib?top=5", "application/json", http.StatusOK},
+		{"/debug/attrib?top=bogus", "text/plain; charset=utf-8", http.StatusBadRequest},
+		{"/debug/attrib/heatmap", "text/html; charset=utf-8", http.StatusOK},
+		{"/debug/attrib/heatmap.csv", "text/csv", http.StatusOK},
+	} {
+		resp, err := http.Get(srv.URL + tc.path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", tc.path, err)
+		}
+		if resp.StatusCode != tc.wantStatus {
+			t.Errorf("GET %s: status %d, want %d", tc.path, resp.StatusCode, tc.wantStatus)
+		}
+		if ct := resp.Header.Get("Content-Type"); ct != tc.wantType {
+			t.Errorf("GET %s: content type %q, want %q", tc.path, ct, tc.wantType)
+		}
+		resp.Body.Close()
+	}
+
+	resp, err := http.Get(srv.URL + "/debug/attrib")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var rep Report
+	if err := json.NewDecoder(resp.Body).Decode(&rep); err != nil {
+		t.Fatalf("decode /debug/attrib: %v", err)
+	}
+	if rep.Policy != "lru" || rep.Misses.Total != 4 || rep.Regret.Charged != 1 {
+		t.Fatalf("served report %+v", rep)
+	}
+	if len(rep.Heat) != 1 || rep.Heat[0].EndInstr != 100 {
+		t.Fatalf("served heat %+v", rep.Heat)
+	}
+}
+
+func TestWriteTextAndHeatCSV(t *testing.T) {
+	r := New(Options{})
+	driveHandChecked(t, r)
+	b := btb.NewWithSets(1, 2, policy.NewLRU())
+	r.SampleHeat(42, b)
+
+	var sb strings.Builder
+	if err := r.WriteText(&sb, 5); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"policy=lru", "compulsory", "conflict", "agree with OPT",
+		"charged misses", "0xa",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("text report missing %q:\n%s", want, out)
+		}
+	}
+
+	sb.Reset()
+	if err := r.WriteHeatCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("heat CSV: %d lines, want header + 1 row", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "end_instr,valid_0") {
+		t.Fatalf("heat CSV header %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "42,") {
+		t.Fatalf("heat CSV row %q", lines[1])
+	}
+}

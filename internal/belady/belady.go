@@ -105,14 +105,17 @@ type beladyEntry struct {
 	nextUse int
 }
 
-// ProfileSets is Profile with an explicit set count.
+// ProfileSets is Profile with an explicit set count. It drives the
+// incremental Shadow model (see shadow.go), so the batch profiler and the
+// attribution layer's regret reference share one replacement decision
+// procedure.
 func ProfileSets(accesses []trace.Access, sets, ways int) *Result {
 	res := &Result{
 		PerBranch: make(map[uint64]*BranchProfile, 1<<12),
 		Sets:      sets,
 		Ways:      ways,
 	}
-	table := make([][]beladyEntry, sets)
+	shadow := NewShadow(sets, ways)
 	for i := range accesses {
 		a := &accesses[i]
 		bp := res.PerBranch[a.PC]
@@ -121,44 +124,21 @@ func ProfileSets(accesses []trace.Access, sets, ways int) *Result {
 			res.PerBranch[a.PC] = bp
 		}
 		bp.Taken++
-		res.Accesses++
 
-		set := table[a.PC%uint64(sets)]
-		hitWay := -1
-		for w := range set {
-			if set[w].pc == a.PC {
-				hitWay = w
-				break
-			}
-		}
-		if hitWay >= 0 {
-			res.Hits++
+		out, _ := shadow.Access(a.PC, a.NextUse)
+		switch out {
+		case ShadowHit:
 			bp.Hits++
-			set[hitWay].nextUse = a.NextUse
-			continue
-		}
-		res.Misses++
-		if len(set) < ways {
-			table[a.PC%uint64(sets)] = append(set, beladyEntry{pc: a.PC, nextUse: a.NextUse})
+		case ShadowInsert, ShadowEvict:
 			bp.Inserts++
-			continue
-		}
-		// Full set: evict the furthest-future candidate, counting the
-		// incoming access itself (bypass).
-		victim, furthest := -1, a.NextUse
-		for w := range set {
-			if set[w].nextUse > furthest {
-				furthest = set[w].nextUse
-				victim = w
-			}
-		}
-		if victim < 0 {
-			res.Bypasses++
+		case ShadowBypass:
 			bp.Bypasses++
-			continue
 		}
-		set[victim] = beladyEntry{pc: a.PC, nextUse: a.NextUse}
-		bp.Inserts++
 	}
+	st := shadow.Stats()
+	res.Accesses = st.Accesses
+	res.Hits = st.Hits
+	res.Misses = st.Misses
+	res.Bypasses = st.Bypasses
 	return res
 }

@@ -131,11 +131,12 @@ const (
 	ProbePrefetchFill
 )
 
-// ProbeFunc observes structural BTB events for telemetry. victim is non-nil
-// only for ProbeEvict. Implementations must not retain req or victim past
-// the call. A nil probe (the default) costs one predictable branch per
-// event site.
-type ProbeFunc func(kind ProbeKind, req *Request, victim *Entry)
+// ProbeFunc observes structural BTB events for telemetry. set is the index
+// of the set the event happened in; way is the way hit, filled, or (for
+// ProbeEvict) vacated, and -1 for ProbeBypass. victim is non-nil only for
+// ProbeEvict. Implementations must not retain req or victim past the call.
+// A nil probe (the default) costs one predictable branch per event site.
+type ProbeFunc func(kind ProbeKind, set, way int, req *Request, victim *Entry)
 
 // BTB is a set-associative branch target buffer.
 type BTB struct {
@@ -232,7 +233,7 @@ func (b *BTB) Access(req *Request) Result {
 			ways[i].Temperature = req.Temperature
 			b.policy.OnHit(s, i, req)
 			if b.probe != nil {
-				b.probe(ProbeHit, req, nil)
+				b.probe(ProbeHit, s, i, req, nil)
 			}
 			return Result{Hit: true, Way: i}
 		}
@@ -243,7 +244,7 @@ func (b *BTB) Access(req *Request) Result {
 		if !ways[i].Valid {
 			b.fill(s, i, req)
 			if b.probe != nil {
-				b.probe(ProbeInsert, req, nil)
+				b.probe(ProbeInsert, s, i, req, nil)
 			}
 			return Result{Way: i}
 		}
@@ -252,7 +253,7 @@ func (b *BTB) Access(req *Request) Result {
 	if v == Bypass {
 		b.stats.Bypasses++
 		if b.probe != nil {
-			b.probe(ProbeBypass, req, nil)
+			b.probe(ProbeBypass, s, -1, req, nil)
 		}
 		return Result{Bypassed: true, Way: -1}
 	}
@@ -263,8 +264,8 @@ func (b *BTB) Access(req *Request) Result {
 	b.stats.Evictions++
 	b.fill(s, v, req)
 	if b.probe != nil {
-		b.probe(ProbeEvict, req, &evicted)
-		b.probe(ProbeInsert, req, nil)
+		b.probe(ProbeEvict, s, v, req, &evicted)
+		b.probe(ProbeInsert, s, v, req, nil)
 	}
 	return Result{Evicted: evicted, Way: v}
 }
@@ -298,7 +299,7 @@ func (b *BTB) PrefetchFill(req *Request) bool {
 			b.fill(s, i, req)
 			b.stats.PrefetchFills++
 			if b.probe != nil {
-				b.probe(ProbePrefetchFill, req, nil)
+				b.probe(ProbePrefetchFill, s, i, req, nil)
 			}
 			return true
 		}
@@ -315,8 +316,8 @@ func (b *BTB) PrefetchFill(req *Request) bool {
 	b.fill(s, v, req)
 	b.stats.PrefetchFills++
 	if b.probe != nil {
-		b.probe(ProbeEvict, req, &evicted)
-		b.probe(ProbePrefetchFill, req, nil)
+		b.probe(ProbeEvict, s, v, req, &evicted)
+		b.probe(ProbePrefetchFill, s, v, req, nil)
 	}
 	return true
 }
@@ -356,6 +357,20 @@ func (b *BTB) TemperatureCensus() (valid uint64, byTemp [4]uint64) {
 		byTemp[t]++
 	}
 	return valid, byTemp
+}
+
+// SetCensus counts the valid entries of one set and sums their stored
+// temperature hints. The attribution heatmap samples it per set at epoch
+// boundaries; the walk is O(ways).
+func (b *BTB) SetCensus(s int) (valid, tempSum int) {
+	ways := b.set(s)
+	for i := range ways {
+		if ways[i].Valid {
+			valid++
+			tempSum += int(ways[i].Temperature)
+		}
+	}
+	return valid, tempSum
 }
 
 // Capacity returns the total number of entry slots (sets × ways).

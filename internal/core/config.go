@@ -19,6 +19,7 @@
 package core
 
 import (
+	"thermometer/internal/attribution"
 	"thermometer/internal/bpred"
 	"thermometer/internal/btb"
 	"thermometer/internal/cache"
@@ -103,6 +104,14 @@ type Config struct {
 	// disables all instrumentation at the cost of one predictable branch
 	// per simulated block (BenchmarkObserverDisabled quantifies it).
 	Observer *telemetry.Observer
+
+	// Attribution, when non-nil, attaches the miss-attribution and
+	// replacement-regret audit layer (see package attribution): every BTB
+	// miss is classified compulsory/capacity/conflict against Belady shadow
+	// models and every replacement decision is scored against OPT's choice.
+	// Requires a monolithic BTB (no ShotgunPartition or TwoLevelBTB). Its
+	// heatmap samples on the Observer's epoch grid when one is attached.
+	Attribution *attribution.Recorder
 }
 
 // TwoLevelBTBConfig sizes the optional two-level BTB organization.

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"thermometer/internal/attribution"
 	"thermometer/internal/btb"
 	"thermometer/internal/detmap"
 	"thermometer/internal/policy"
@@ -26,10 +27,16 @@ type observerState struct {
 	hEvictionAge, hHitInterval, hFTQLead, hRedirectPenalty *telemetry.Histogram
 
 	// insertCycle / lastHitCycle track per-branch timestamps for the
-	// eviction-age and reuse-interval histograms. Only populated while the
-	// observer is attached, so the nil-observer path allocates nothing.
+	// eviction-age and reuse-interval histograms. Entries are evicted when
+	// the tracked branch leaves the BTB, so both maps stay O(BTB capacity)
+	// regardless of trace length. Only populated while the observer is
+	// attached, so the nil-observer path allocates nothing.
 	insertCycle  map[uint64]uint64
 	lastHitCycle map[uint64]uint64
+
+	// att, when non-nil, receives every probe event for miss attribution
+	// and regret tracing (see attachAttribution).
+	att *attribution.Recorder
 }
 
 func newObserverState(obs *telemetry.Observer, res *Result, bank *btbBank, twoLevel *btb.TwoLevel) *observerState {
@@ -65,7 +72,10 @@ func newObserverState(obs *telemetry.Observer, res *Result, bank *btbBank, twoLe
 
 // probe receives structural BTB events. Cycle stamps come from the live
 // Result the simulator is accumulating into.
-func (o *observerState) probe(kind btb.ProbeKind, req *btb.Request, victim *btb.Entry) {
+func (o *observerState) probe(kind btb.ProbeKind, set, way int, req *btb.Request, victim *btb.Entry) {
+	if o.att != nil {
+		forwardAttrib(o.att, o.res, kind, set, way, req, victim)
+	}
 	now := o.res.Cycles
 	switch kind {
 	case btb.ProbeHit:
@@ -92,6 +102,11 @@ func (o *observerState) probe(kind btb.ProbeKind, req *btb.Request, victim *btb.
 			}
 			delete(o.insertCycle, victim.PC)
 		}
+		// The victim is gone: drop its hit stamp too, so the map tracks
+		// only resident branches. (A re-inserted branch restarts its
+		// hit-interval series, which is the residency-local measurement
+		// the histogram wants anyway.)
+		delete(o.lastHitCycle, victim.PC)
 		o.event(telemetry.EvEvict, now, req.PC, victim.PC, victim.Temperature)
 	case btb.ProbeBypass:
 		if o.cBypass != nil {
@@ -150,6 +165,9 @@ func (o *observerState) afterBlock(leadCycles uint64) {
 	if s := o.obs.Epochs; s != nil && s.Due(o.res.Instructions) {
 		cum := o.cumulative()
 		s.Tick(&cum)
+		if o.att != nil {
+			o.att.SampleHeat(o.res.Instructions, o.bank.main)
+		}
 	}
 }
 
@@ -215,16 +233,35 @@ func (o *observerState) finish() {
 	if s := o.obs.Epochs; s != nil {
 		cum := o.cumulative()
 		s.Finish(&cum)
+		if o.att != nil {
+			// Close the heatmap with the final partial epoch too.
+			o.att.SampleHeat(o.res.Instructions, o.bank.main)
+		}
 	}
 	m := o.obs.Metrics
 	if m == nil {
 		return
+	}
+	if o.att != nil {
+		_, _, misses, regret := o.att.Counts()
+		m.SetCounter("attrib_miss_compulsory", misses.Compulsory)
+		m.SetCounter("attrib_miss_capacity", misses.Capacity)
+		m.SetCounter("attrib_miss_conflict", misses.Conflict)
+		m.SetCounter("attrib_decisions", regret.Decisions)
+		m.SetCounter("attrib_agree_opt", regret.AgreeOPT)
+		m.SetCounter("attrib_charged", regret.Charged)
+		m.SetCounter("attrib_windfall", regret.Windfall)
 	}
 	cum := o.cumulative()
 	m.Gauge("btb_valid_entries").Set(cum.BTBValid)
 	m.Gauge("btb_capacity").Set(cum.BTBCapacity)
 	m.SetCounter("instructions", o.res.Instructions)
 	m.SetCounter("cycles", o.res.Cycles)
+	if ev := o.obs.Events; ev != nil {
+		// Surface ring truncation: a nonzero value means the trace outgrew
+		// -eventcap and the oldest events were silently overwritten.
+		m.SetCounter("dropped_events", ev.Dropped())
+	}
 	if ins, ok := o.res.Policy.(policy.Instrumented); ok {
 		tc := ins.TelemetryCounters()
 		for _, name := range detmap.SortedKeys(tc) {

@@ -232,6 +232,9 @@ func Run(tr *trace.Trace, cfg Config) *Result {
 	if cfg.Observer != nil {
 		obs = newObserverState(cfg.Observer, res, bank, twoLevel)
 	}
+	if cfg.Attribution != nil {
+		attachAttribution(&cfg, res, bank, obs)
+	}
 
 	recs := tr.Records
 	warmupEnd := int(cfg.WarmupFrac * float64(len(recs)))
@@ -255,6 +258,9 @@ func Run(tr *trace.Trace, cfg Config) *Result {
 			ibtb.Hits, ibtb.Misses = 0, 0
 			if obs != nil {
 				obs.onWarmupReset()
+			}
+			if cfg.Attribution != nil {
+				cfg.Attribution.OnWarmupReset()
 			}
 		}
 		r := &recs[i]

