@@ -8,15 +8,24 @@
 //	paperfigs -exp fig11              # one experiment at full scale
 //	paperfigs -exp all -scale 4       # everything at quarter-length traces
 //	paperfigs -exp regret -scale 8    # decision audit vs OPT, short traces
+//	paperfigs -exp all -parallel 1    # serial reference run (same output)
+//	paperfigs -exp all -timeout 10m   # bound the whole sweep
 //	paperfigs -exp all -http :6060    # live expvar/pprof during the sweep
 //	paperfigs -exp all -metrics sweep.json
 //	paperfigs -list
+//
+// Output is byte-identical at every -parallel width: experiment loops write
+// indexed result slots and aggregate serially, so the pool only changes
+// wall-clock time.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
@@ -26,13 +35,15 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment id (fig1..fig21, table1, all) or comma list")
-		scale   = flag.Int("scale", 1, "divide trace lengths by this factor (1 = paper scale)")
-		cbp5    = flag.Int("cbp5", 0, "limit the number of CBP-5 traces (0 = all 663)")
-		ipc1    = flag.Int("ipc1", 0, "limit the number of IPC-1 traces (0 = all 50)")
-		list    = flag.Bool("list", false, "list experiments and exit")
-		metrics = flag.String("metrics", "", "write sweep telemetry (per-experiment wall time, cache traffic) as JSON")
-		httpA   = flag.String("http", "", "serve live telemetry, expvar, and pprof on this address during the sweep")
+		exp      = flag.String("exp", "all", "experiment id (fig1..fig21, table1, all) or comma list")
+		scale    = flag.Int("scale", 1, "divide trace lengths by this factor (1 = paper scale)")
+		cbp5     = flag.Int("cbp5", 0, "limit the number of CBP-5 traces (0 = all 663)")
+		ipc1     = flag.Int("ipc1", 0, "limit the number of IPC-1 traces (0 = all 50)")
+		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "worker-pool width for per-app/per-trace loops (1 = serial)")
+		timeout  = flag.Duration("timeout", 0, "abort the sweep after this long (0 = no limit)")
+		list     = flag.Bool("list", false, "list experiments and exit")
+		metrics  = flag.String("metrics", "", "write sweep telemetry (per-experiment wall time, cache traffic) as JSON")
+		httpA    = flag.String("http", "", "serve live telemetry, expvar, and pprof on this address during the sweep")
 	)
 	flag.Parse()
 
@@ -50,6 +61,12 @@ func main() {
 	ctx := experiments.NewContext(*scale)
 	ctx.CBP5Traces = *cbp5
 	ctx.IPC1Traces = *ipc1
+	ctx.Workers = *parallel
+	if *timeout > 0 {
+		runCtx, cancel := context.WithTimeout(context.Background(), *timeout)
+		defer cancel()
+		ctx.Ctx = runCtx
+	}
 
 	// Sweep telemetry: per-experiment wall time and trace/hint cache
 	// traffic land in the registry; -http makes it observable mid-sweep.
@@ -84,7 +101,12 @@ func main() {
 
 	for _, id := range ids {
 		start := time.Now()
-		tables := ctx.Run(id)
+		tables, err := runExperiment(ctx, id)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "paperfigs: %s aborted after %v: sweep timeout (-timeout %v) exceeded\n",
+				id, time.Since(start).Round(time.Millisecond), *timeout)
+			os.Exit(1)
+		}
 		for _, t := range tables {
 			t.Render(os.Stdout)
 		}
@@ -114,4 +136,19 @@ func main() {
 		}
 		fmt.Printf("telemetry: wrote sweep metrics to %s\n", *metrics)
 	}
+}
+
+// runExperiment converts the context-cancellation panic a timed-out sweep
+// raises inside the experiment loops into an error; other panics propagate.
+func runExperiment(ctx *experiments.Context, id string) (tables []*experiments.Table, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if e, ok := r.(error); ok && (errors.Is(e, context.DeadlineExceeded) || errors.Is(e, context.Canceled)) {
+				err = e
+				return
+			}
+			panic(r)
+		}
+	}()
+	return ctx.Run(id), nil
 }

@@ -1,0 +1,97 @@
+// Command thermod is the simulation daemon: it serves the sweep-job API
+// from internal/server on top of a parallel runner engine with a
+// content-addressed result cache, alongside the telemetry debug surface.
+//
+//	POST /v1/jobs       submit a sweep (JSON array of specs)
+//	GET  /v1/jobs       list jobs
+//	GET  /v1/jobs/{id}  job status + results
+//	GET  /metrics       telemetry report (runner + serving metrics)
+//	GET  /debug/pprof/  runtime profiles
+//
+// SIGINT/SIGTERM starts a graceful drain: new submissions get 503, queued
+// and running sweeps are given -drain to finish, then pending jobs are
+// canceled.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"thermometer/internal/runner"
+	"thermometer/internal/server"
+	"thermometer/internal/telemetry"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", "localhost:8080", "listen address")
+		workers   = flag.Int("workers", 0, "engine pool width per sweep (0 = GOMAXPROCS)")
+		queue     = flag.Int("queue", 16, "max sweeps queued behind the running one")
+		maxSpecs  = flag.Int("maxspecs", 4096, "max specs in one submission")
+		cacheSize = flag.Int("cachesize", 4096, "in-memory result-cache capacity")
+		cacheDir  = flag.String("cachedir", "", "on-disk result-cache directory (empty = memory only)")
+		drain     = flag.Duration("drain", 30*time.Second, "graceful-drain timeout on SIGINT/SIGTERM")
+	)
+	flag.Parse()
+
+	if err := run(*addr, *workers, *queue, *maxSpecs, *cacheSize, *cacheDir, *drain); err != nil {
+		fmt.Fprintln(os.Stderr, "thermod:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr string, workers, queue, maxSpecs, cacheSize int, cacheDir string, drain time.Duration) error {
+	cache, err := runner.NewCache(cacheSize, cacheDir)
+	if err != nil {
+		return fmt.Errorf("result cache: %w", err)
+	}
+	obs := telemetry.New(telemetry.Options{})
+	engine := &runner.Engine{
+		Workers:  workers,
+		Cache:    cache,
+		Metrics:  obs.Metrics,
+		NowNanos: func() int64 { return time.Now().UnixNano() },
+	}
+	srv := server.New(engine, server.Options{
+		QueueDepth: queue,
+		MaxSpecs:   maxSpecs,
+		Metrics:    obs.Metrics,
+	})
+
+	// One mux serves the job API and the telemetry/debug surface.
+	handler := obs.Handler(telemetry.Mount{Pattern: "/v1/jobs", Handler: srv})
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{Handler: handler}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+	log.Printf("thermod listening on %s (workers=%d queue=%d cache=%d dir=%q)",
+		ln.Addr(), workers, queue, cacheSize, cacheDir)
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-serveErr:
+		return err
+	case <-ctx.Done():
+	}
+
+	log.Printf("thermod draining (timeout %s)", drain)
+	drainCtx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	if err := srv.Shutdown(drainCtx); err != nil {
+		log.Printf("thermod drain incomplete: %v (pending jobs canceled)", err)
+	}
+	return httpSrv.Shutdown(context.Background())
+}

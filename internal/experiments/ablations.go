@@ -28,8 +28,9 @@ func Ablations(c *Context) []*Table {
 	}
 	cfg := core.DefaultConfig()
 	apps := []string{"cassandra", "mediawiki", "tomcat", "wordpress"}
-	var sums [4]float64
-	for _, app := range apps {
+	allVals := make([][4]float64, len(apps))
+	c.forEach(len(apps), func(i int) {
+		app := apps[i]
 		tr := c.AppTrace(app, 0)
 		ht := c.Hints(app, 0, cfg.BTBEntries, cfg.BTBWays, profile.DefaultConfig())
 		coldCfg := profile.DefaultConfig()
@@ -40,15 +41,18 @@ func Ablations(c *Context) []*Table {
 		sp := func(newPolicy func() btb.Policy, hints *profile.HintTable) float64 {
 			return core.Speedup(lru, runPolicy(tr, newPolicy, hints, nil))
 		}
-		vals := [4]float64{
+		allVals[i] = [4]float64{
 			sp(func() btb.Policy { return policy.NewThermometer() }, ht),
 			sp(func() btb.Policy { return policy.NewThermometerNoBypass() }, ht),
 			sp(func() btb.Policy { return policy.NewHolisticOnly() }, ht),
 			sp(func() btb.Policy { return policy.NewThermometer() }, htCold),
 		}
+	})
+	var sums [4]float64
+	for i, app := range apps {
 		row := []string{app}
-		for i, v := range vals {
-			sums[i] += v
+		for j, v := range allVals[i] {
+			sums[j] += v
 			row = append(row, pct(v))
 		}
 		t.AddRow(row...)

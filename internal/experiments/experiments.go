@@ -9,6 +9,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -22,6 +23,7 @@ import (
 	"thermometer/internal/detmap"
 	"thermometer/internal/policy"
 	"thermometer/internal/profile"
+	"thermometer/internal/runner"
 	"thermometer/internal/telemetry"
 	"thermometer/internal/trace"
 	"thermometer/internal/workload"
@@ -92,14 +94,67 @@ type Context struct {
 	CBP5Traces int
 	IPC1Traces int
 
+	// Workers sets the pool width for the per-app/per-trace loops inside
+	// each experiment (0 = GOMAXPROCS, 1 = serial). Tables are identical at
+	// any width: loop bodies write indexed slots and aggregation stays
+	// serial, so floating-point sums accumulate in the same order.
+	Workers int
+	// Ctx, when non-nil, cancels experiments between loop iterations; a
+	// canceled run panics with the context's error (recovered by
+	// cmd/paperfigs into a timeout exit).
+	Ctx context.Context
+
 	// Telemetry, when non-nil, collects sweep-level metrics: per-experiment
 	// wall time, trace/hint cache traffic. cmd/paperfigs wires it for its
 	// -metrics and -http flags; nil disables collection.
 	Telemetry *telemetry.Registry
 
 	mu     sync.Mutex
-	traces map[string]*trace.Trace
-	hints  map[string]*profile.HintTable
+	traces map[string]*ctxTraceSlot
+	hints  map[string]*ctxHintSlot
+}
+
+// Single-flight cache slots: the goroutine that creates a slot under c.mu
+// counts the miss and every other requester blocks on the Once instead of
+// regenerating, so cache counters stay deterministic at any pool width.
+type ctxTraceSlot struct {
+	once sync.Once
+	tr   *trace.Trace
+}
+
+type ctxHintSlot struct {
+	once sync.Once
+	ht   *profile.HintTable
+}
+
+// forEach runs fn(0..n-1) on the context's worker pool with serial
+// semantics preserved: fn must write results only to its own index, panics
+// re-propagate (lowest index first, as a serial loop would), and a canceled
+// Ctx stops dispatching and panics with the context error.
+func (c *Context) forEach(n int, fn func(i int)) {
+	if c.Ctx != nil && c.Ctx.Err() != nil {
+		panic(c.Ctx.Err())
+	}
+	panics := make([]any, n)
+	runner.ForEach(c.Workers, n, func(i int) {
+		if c.Ctx != nil && c.Ctx.Err() != nil {
+			return
+		}
+		defer func() {
+			if r := recover(); r != nil {
+				panics[i] = r
+			}
+		}()
+		fn(i)
+	})
+	for _, p := range panics {
+		if p != nil {
+			panic(p)
+		}
+	}
+	if c.Ctx != nil && c.Ctx.Err() != nil {
+		panic(c.Ctx.Err())
+	}
 }
 
 // count bumps a telemetry counter if collection is enabled.
@@ -134,51 +189,66 @@ func NewContext(scale int) *Context {
 	}
 	return &Context{
 		Scale:  scale,
-		traces: make(map[string]*trace.Trace),
-		hints:  make(map[string]*profile.HintTable),
+		traces: make(map[string]*ctxTraceSlot),
+		hints:  make(map[string]*ctxHintSlot),
 	}
 }
 
 // AppTrace returns (and caches) the trace for an application input.
+// Concurrent requests for the same trace single-flight: one goroutine
+// generates, the rest wait.
 func (c *Context) AppTrace(name string, input int) *trace.Trace {
 	key := fmt.Sprintf("%s#%d", name, input)
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	if tr, ok := c.traces[key]; ok {
-		c.count("trace_cache_hits")
-		return tr
-	}
-	c.count("trace_cache_misses")
-	spec, ok := workload.App(name)
+	slot, ok := c.traces[key]
 	if !ok {
-		panic("experiments: unknown app " + name)
+		slot = &ctxTraceSlot{}
+		c.traces[key] = slot
+		c.count("trace_cache_misses")
+	} else {
+		c.count("trace_cache_hits")
 	}
-	tr := spec.ScaleLength(1, c.Scale).Generate(input)
-	c.traces[key] = tr
-	return tr
+	c.mu.Unlock()
+	slot.once.Do(func() {
+		spec, ok := workload.App(name)
+		if !ok {
+			panic("experiments: unknown app " + name)
+		}
+		slot.tr = spec.ScaleLength(1, c.Scale).Generate(input)
+	})
+	if slot.tr == nil {
+		panic("experiments: trace generation for " + key + " previously failed")
+	}
+	return slot.tr
 }
 
 // Hints returns (and caches) the Thermometer hint table for an app input
-// under the given geometry and profile configuration.
+// under the given geometry and profile configuration, single-flighting
+// concurrent requests like AppTrace.
 func (c *Context) Hints(name string, input, entries, ways int, cfg profile.Config) *profile.HintTable {
 	key := fmt.Sprintf("%s#%d@%dx%d:%v:%d", name, input, entries, ways, cfg.Thresholds, cfg.DefaultCategory)
 	c.mu.Lock()
-	if ht, ok := c.hints[key]; ok {
+	slot, ok := c.hints[key]
+	if !ok {
+		slot = &ctxHintSlot{}
+		c.hints[key] = slot
+		c.count("hint_cache_misses")
+	} else {
 		c.count("hint_cache_hits")
-		c.mu.Unlock()
-		return ht
 	}
-	c.count("hint_cache_misses")
 	c.mu.Unlock()
-	tr := c.AppTrace(name, input)
-	ht, _, err := profile.ProfileTrace(tr, entries, ways, cfg)
-	if err != nil {
-		panic(err)
+	slot.once.Do(func() {
+		tr := c.AppTrace(name, input)
+		ht, _, err := profile.ProfileTrace(tr, entries, ways, cfg)
+		if err != nil {
+			panic(err)
+		}
+		slot.ht = ht
+	})
+	if slot.ht == nil {
+		panic("experiments: hint profiling for " + key + " previously failed")
 	}
-	c.mu.Lock()
-	c.hints[key] = ht
-	c.mu.Unlock()
-	return ht
+	return slot.ht
 }
 
 // cbp5Count returns the number of CBP-5 traces to run.

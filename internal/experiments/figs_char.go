@@ -21,24 +21,27 @@ func Fig1(c *Context) []*Table {
 		Title:  "Speedup (%) of SRRIP/GHRP/Hawkeye/OPT over LRU (with FDIP)",
 		Header: []string{"app", "SRRIP", "GHRP", "Hawkeye", "OPT"},
 	}
-	sums := make([]float64, 4)
-	for _, app := range workload.AppNames() {
-		tr := c.AppTrace(app, 0)
+	apps := workload.AppNames()
+	vals := make([][4]float64, len(apps))
+	c.forEach(len(apps), func(i int) {
+		tr := c.AppTrace(apps[i], 0)
 		lru := runPolicy(tr, nil, nil, nil)
-		row := []string{app}
-		for i, pf := range policyFactories() {
-			r := runPolicy(tr, pf.New, nil, nil)
-			sp := core.Speedup(lru, r)
-			sums[i] += sp
-			row = append(row, pct(sp))
+		for j, pf := range policyFactories() {
+			vals[i][j] = core.Speedup(lru, runPolicy(tr, pf.New, nil, nil))
 		}
 		opt := runPolicy(tr, func() btb.Policy { return policy.NewOPT() }, nil, nil)
-		sp := core.Speedup(lru, opt)
-		sums[3] += sp
-		row = append(row, pct(sp))
+		vals[i][3] = core.Speedup(lru, opt)
+	})
+	sums := make([]float64, 4)
+	for i, app := range apps {
+		row := []string{app}
+		for j, sp := range vals[i] {
+			sums[j] += sp
+			row = append(row, pct(sp))
+		}
 		t.AddRow(row...)
 	}
-	n := float64(len(workload.AppNames()))
+	n := float64(len(apps))
 	t.AddRow("Avg", pct(sums[0]/n), pct(sums[1]/n), pct(sums[2]/n), pct(sums[3]/n))
 	t.Notes = append(t.Notes, "paper: prior policies avg 1.5%, OPT avg 10.4%")
 	return []*Table{t}
@@ -52,24 +55,29 @@ func Fig2(c *Context) []*Table {
 		Title:  "Limit study speedup (%) over the realistic baseline",
 		Header: []string{"app", "Perfect-BTB", "Perfect-BP", "Perfect-I-Cache"},
 	}
-	var sums [3]float64
-	for _, app := range workload.AppNames() {
-		tr := c.AppTrace(app, 0)
+	apps := workload.AppNames()
+	vals := make([][3]float64, len(apps))
+	c.forEach(len(apps), func(i int) {
+		tr := c.AppTrace(apps[i], 0)
 		base := runPolicy(tr, nil, nil, nil)
-		vals := make([]string, 0, 3)
-		for i, mut := range []func(*core.Config){
+		for j, mut := range []func(*core.Config){
 			func(cfg *core.Config) { cfg.PerfectBTB = true },
 			func(cfg *core.Config) { cfg.PerfectBP = true },
 			func(cfg *core.Config) { cfg.PerfectICache = true },
 		} {
-			r := runPolicy(tr, nil, nil, mut)
-			sp := core.Speedup(base, r)
-			sums[i] += sp
-			vals = append(vals, pct(sp))
+			vals[i][j] = core.Speedup(base, runPolicy(tr, nil, nil, mut))
 		}
-		t.AddRow(append([]string{app}, vals...)...)
+	})
+	var sums [3]float64
+	for i, app := range apps {
+		row := []string{app}
+		for j, sp := range vals[i] {
+			sums[j] += sp
+			row = append(row, pct(sp))
+		}
+		t.AddRow(row...)
 	}
-	n := float64(len(workload.AppNames()))
+	n := float64(len(apps))
 	t.AddRow("Avg", pct(sums[0]/n), pct(sums[1]/n), pct(sums[2]/n))
 	t.Notes = append(t.Notes, "paper: perfect BTB 63.2%, perfect BP 11.3%, perfect I-cache 21.5%")
 	return []*Table{t}
@@ -82,10 +90,13 @@ func Fig3(c *Context) []*Table {
 		Title:  "L2 instruction MPKI (verilator is the outlier)",
 		Header: []string{"app", "L2iMPKI"},
 	}
-	for _, app := range workload.AppNames() {
-		tr := c.AppTrace(app, 0)
-		r := runPolicy(tr, nil, nil, nil)
-		t.AddRow(app, f2(r.L2iMPKI))
+	apps := workload.AppNames()
+	mpki := make([]float64, len(apps))
+	c.forEach(len(apps), func(i int) {
+		mpki[i] = runPolicy(c.AppTrace(apps[i], 0), nil, nil, nil).L2iMPKI
+	})
+	for i, app := range apps {
+		t.AddRow(app, f2(mpki[i]))
 	}
 	t.Notes = append(t.Notes, "paper: verilator >= 300x the others (42 vs 0.01-1)")
 	return []*Table{t}
@@ -100,10 +111,11 @@ func Fig4(c *Context) []*Table {
 		Header: []string{"app", "Confluence-LRU", "Shotgun-LRU", "OPT",
 			"Confluence-OPT", "Shotgun-OPT", "Perfect-BTB"},
 	}
-	var sums [6]float64
 	optNew := func() btb.Policy { return policy.NewOPT() }
-	for _, app := range workload.AppNames() {
-		tr := c.AppTrace(app, 0)
+	apps := workload.AppNames()
+	vals := make([][6]float64, len(apps))
+	c.forEach(len(apps), func(i int) {
+		tr := c.AppTrace(apps[i], 0)
 		meta := core.BuildMeta(tr.AccessStream())
 		base := runPolicy(tr, nil, nil, nil)
 		sp := func(r *core.Result) float64 { return core.Speedup(base, r) }
@@ -124,16 +136,18 @@ func Fig4(c *Context) []*Table {
 			cfg.ShotgunPartition = true
 		})
 		perf := runPolicy(tr, nil, nil, func(cfg *core.Config) { cfg.PerfectBTB = true })
-
-		vals := []float64{sp(confLRU), sp(shotLRU), sp(opt), sp(confOPT), sp(shotOPT), sp(perf)}
+		vals[i] = [6]float64{sp(confLRU), sp(shotLRU), sp(opt), sp(confOPT), sp(shotOPT), sp(perf)}
+	})
+	var sums [6]float64
+	for i, app := range apps {
 		row := []string{app}
-		for i, v := range vals {
-			sums[i] += v
+		for j, v := range vals[i] {
+			sums[j] += v
 			row = append(row, pct(v))
 		}
 		t.AddRow(row...)
 	}
-	n := float64(len(workload.AppNames()))
+	n := float64(len(apps))
 	avg := []string{"Avg"}
 	for _, s := range sums {
 		avg = append(avg, pct(s/n))
@@ -153,15 +167,19 @@ func Fig5(c *Context) []*Table {
 	}
 	cfg := core.DefaultConfig()
 	sets := cfg.BTBEntries / cfg.BTBWays
+	apps := workload.AppNames()
+	vars := make([]metrics.VarianceSummary, len(apps))
+	c.forEach(len(apps), func(i int) {
+		vars[i] = metrics.SummarizeVariance(c.AppTrace(apps[i], 0).AccessStream(), sets, 4)
+	})
 	var st, sh float64
-	for _, app := range workload.AppNames() {
-		tr := c.AppTrace(app, 0)
-		v := metrics.SummarizeVariance(tr.AccessStream(), sets, 4)
+	for i, app := range apps {
+		v := vars[i]
 		st += v.Transient
 		sh += v.Holistic
 		t.AddRow(app, f2(v.Transient), f2(v.Holistic), f2(v.Ratio()))
 	}
-	n := float64(len(workload.AppNames()))
+	n := float64(len(apps))
 	ratio := 0.0
 	if sh > 0 {
 		ratio = st / sh
@@ -183,14 +201,14 @@ func Fig6(c *Context) []*Table {
 		Header: append([]string{"% of branches"}, fig67Apps...),
 	}
 	cols := make([][]float64, len(fig67Apps))
-	for i, app := range fig67Apps {
-		res := beladyResult(c.AppTrace(app, 0))
+	c.forEach(len(fig67Apps), func(i int) {
+		res := beladyResult(c.AppTrace(fig67Apps[i], 0))
 		sorted := res.SortedByTemperature()
 		for d := 0; d <= 10; d++ {
 			idx := d * (len(sorted) - 1) / 10
 			cols[i] = append(cols[i], 100*sorted[idx].HitToTaken())
 		}
-	}
+	})
 	for d := 0; d <= 10; d++ {
 		row := []string{fmt.Sprintf("%d%%", d*10)}
 		for i := range fig67Apps {
@@ -212,8 +230,8 @@ func Fig7(c *Context) []*Table {
 		Header: append([]string{"% of branches"}, fig67Apps...),
 	}
 	cols := make([][]float64, len(fig67Apps))
-	for i, app := range fig67Apps {
-		res := beladyResult(c.AppTrace(app, 0))
+	c.forEach(len(fig67Apps), func(i int) {
+		res := beladyResult(c.AppTrace(fig67Apps[i], 0))
 		sorted := res.SortedByTemperature()
 		weights := make([]float64, len(sorted))
 		for j, b := range sorted {
@@ -224,7 +242,7 @@ func Fig7(c *Context) []*Table {
 			idx := d * (len(cdf) - 1) / 10
 			cols[i] = append(cols[i], 100*cdf[idx])
 		}
-	}
+	})
 	for d := 0; d <= 10; d++ {
 		row := []string{fmt.Sprintf("%d%%", d*10)}
 		for i := range fig67Apps {
@@ -246,8 +264,10 @@ func Fig8(c *Context) []*Table {
 	}
 	cfg := core.DefaultConfig()
 	sets := cfg.BTBEntries / cfg.BTBWays
-	for _, app := range workload.AppNames() {
-		tr := c.AppTrace(app, 0)
+	apps := workload.AppNames()
+	rows := make([][4]float64, len(apps))
+	c.forEach(len(apps), func(i int) {
+		tr := c.AppTrace(apps[i], 0)
 		res := beladyResult(tr)
 		stats := tr.StaticBranches()
 		reuse := metrics.ReuseSequences(tr.AccessStream(), sets)
@@ -269,11 +289,15 @@ func Fig8(c *Context) []*Table {
 			bias = append(bias, s.Bias())
 			avgReuse = append(avgReuse, metrics.Mean(seq))
 		}
-		t.AddRow(app,
-			f2(metrics.SpearmanAbs(typ, temp)),
-			f2(metrics.SpearmanAbs(dist, temp)),
-			f2(metrics.SpearmanAbs(bias, temp)),
-			f2(metrics.SpearmanAbs(avgReuse, temp)))
+		rows[i] = [4]float64{
+			metrics.SpearmanAbs(typ, temp),
+			metrics.SpearmanAbs(dist, temp),
+			metrics.SpearmanAbs(bias, temp),
+			metrics.SpearmanAbs(avgReuse, temp),
+		}
+	})
+	for i, app := range apps {
+		t.AddRow(app, f2(rows[i][0]), f2(rows[i][1]), f2(rows[i][2]), f2(rows[i][3]))
 	}
 	t.Notes = append(t.Notes,
 		"paper: holistic (avg) reuse distance strongly correlates with temperature; type/distance/bias do not")
@@ -289,9 +313,10 @@ func Fig9(c *Context) []*Table {
 		Header: []string{"app", "cold", "warm", "hot"},
 	}
 	pcfg := profile.DefaultConfig()
-	var sums [3]float64
-	for _, app := range workload.AppNames() {
-		res := beladyResult(c.AppTrace(app, 0))
+	apps := workload.AppNames()
+	vals := make([][3]float64, len(apps))
+	c.forEach(len(apps), func(i int) {
+		res := beladyResult(c.AppTrace(apps[i], 0))
 		var byp, miss [3]float64
 		for _, pc := range detmap.SortedKeys(res.PerBranch) {
 			b := res.PerBranch[pc]
@@ -299,18 +324,22 @@ func Fig9(c *Context) []*Table {
 			byp[cat] += float64(b.Bypasses)
 			miss[cat] += float64(b.Bypasses + b.Inserts)
 		}
-		row := []string{app}
-		for i := 0; i < 3; i++ {
-			v := 0.0
-			if miss[i] > 0 {
-				v = byp[i] / miss[i]
+		for j := 0; j < 3; j++ {
+			if miss[j] > 0 {
+				vals[i][j] = byp[j] / miss[j]
 			}
-			sums[i] += v
+		}
+	})
+	var sums [3]float64
+	for i, app := range apps {
+		row := []string{app}
+		for j, v := range vals[i] {
+			sums[j] += v
 			row = append(row, pct(v))
 		}
 		t.AddRow(row...)
 	}
-	n := float64(len(workload.AppNames()))
+	n := float64(len(apps))
 	t.AddRow("Avg", pct(sums[0]/n), pct(sums[1]/n), pct(sums[2]/n))
 	t.Notes = append(t.Notes,
 		"paper: cold branches bypassed in >50% of cases; hot branches almost always inserted")

@@ -28,17 +28,18 @@ func Fig11(c *Context) []*Table {
 			"Therm-7979", "OPT"},
 	}
 	cfg := core.DefaultConfig()
-	var sums [6]float64
-	var sumsNoVeri [6]float64
-	for _, app := range workload.AppNames() {
+	apps := workload.AppNames()
+	allVals := make([][6]float64, len(apps))
+	c.forEach(len(apps), func(i int) {
+		app := apps[i]
 		tr := c.AppTrace(app, 0)
 		ht := c.Hints(app, 0, cfg.BTBEntries, cfg.BTBWays, profile.DefaultConfig())
 		lru := runPolicy(tr, nil, nil, nil)
 		sp := func(r *core.Result) float64 { return core.Speedup(lru, r) }
 
 		var vals [6]float64
-		for i, pf := range policyFactories() {
-			vals[i] = sp(runPolicy(tr, pf.New, nil, nil))
+		for j, pf := range policyFactories() {
+			vals[j] = sp(runPolicy(tr, pf.New, nil, nil))
 		}
 		vals[3] = sp(runPolicy(tr, thermNew, ht, nil))
 		// 7979-entry variant: same storage, 2 bits spent per entry
@@ -51,18 +52,22 @@ func Fig11(c *Context) []*Table {
 			cc.BTBSets = 7979 / cc.BTBWays
 		}))
 		vals[5] = sp(runPolicy(tr, optNew, nil, nil))
-
+		allVals[i] = vals
+	})
+	var sums [6]float64
+	var sumsNoVeri [6]float64
+	for i, app := range apps {
 		row := []string{app}
-		for i, v := range vals {
-			sums[i] += v
+		for j, v := range allVals[i] {
+			sums[j] += v
 			if app != "verilator" {
-				sumsNoVeri[i] += v
+				sumsNoVeri[j] += v
 			}
 			row = append(row, pct(v))
 		}
 		t.AddRow(row...)
 	}
-	n := float64(len(workload.AppNames()))
+	n := float64(len(apps))
 	row := []string{"Avg no verilator"}
 	for _, s := range sumsNoVeri {
 		row = append(row, pct(s/(n-1)))
@@ -86,8 +91,10 @@ func Fig12(c *Context) []*Table {
 		Header: []string{"app", "SRRIP", "GHRP", "Hawkeye", "Thermometer", "OPT"},
 	}
 	cfg := core.DefaultConfig()
-	var sums [5]float64
-	for _, app := range workload.AppNames() {
+	apps := workload.AppNames()
+	allVals := make([][5]float64, len(apps))
+	c.forEach(len(apps), func(i int) {
+		app := apps[i]
 		tr := c.AppTrace(app, 0)
 		acc := tr.AccessStream()
 		ht := c.Hints(app, 0, cfg.BTBEntries, cfg.BTBWays, profile.DefaultConfig())
@@ -96,23 +103,26 @@ func Fig12(c *Context) []*Table {
 			return (float64(base.Stats.Misses) - float64(m)) / float64(base.Stats.Misses)
 		}
 		var vals [5]float64
-		for i, pf := range policyFactories() {
+		for j, pf := range policyFactories() {
 			r := replay.Run(acc, replay.Options{Entries: cfg.BTBEntries, Ways: cfg.BTBWays, Policy: pf.New()})
-			vals[i] = red(r.Stats.Misses)
+			vals[j] = red(r.Stats.Misses)
 		}
 		th := replay.Run(acc, replay.Options{Entries: cfg.BTBEntries, Ways: cfg.BTBWays, Policy: policy.NewThermometer(), Hints: ht})
 		vals[3] = red(th.Stats.Misses)
 		opt := belady.Profile(acc, cfg.BTBEntries, cfg.BTBWays)
 		vals[4] = red(opt.Misses)
-
+		allVals[i] = vals
+	})
+	var sums [5]float64
+	for i, app := range apps {
 		row := []string{app}
-		for i, v := range vals {
-			sums[i] += v
+		for j, v := range allVals[i] {
+			sums[j] += v
 			row = append(row, pct(v))
 		}
 		t.AddRow(row...)
 	}
-	n := float64(len(workload.AppNames()))
+	n := float64(len(apps))
 	row := []string{"Avg"}
 	for _, s := range sums {
 		row = append(row, pct(s/n))
@@ -133,31 +143,52 @@ func Fig13(c *Context) []*Table {
 			"Therm-same-input-profile"},
 	}
 	cfg := core.DefaultConfig()
+	apps := workload.AppNames()
+	type cell struct {
+		app   string
+		input int
+	}
+	cells := make([]cell, 0, 3*len(apps))
+	for _, app := range apps {
+		for input := 1; input <= 3; input++ {
+			cells = append(cells, cell{app, input})
+		}
+	}
+	type outcome struct {
+		ok                 bool
+		srrip, train, same float64
+	}
+	outs := make([]outcome, len(cells))
+	c.forEach(len(cells), func(i int) {
+		app, input := cells[i].app, cells[i].input
+		trainHints := c.Hints(app, 0, cfg.BTBEntries, cfg.BTBWays, profile.DefaultConfig())
+		tr := c.AppTrace(app, input)
+		lru := runPolicy(tr, nil, nil, nil)
+		opt := runPolicy(tr, optNew, nil, nil)
+		den := core.Speedup(lru, opt)
+		if den <= 0 {
+			return
+		}
+		frac := func(r *core.Result) float64 { return core.Speedup(lru, r) / den }
+
+		srrip := frac(runPolicy(tr, func() btb.Policy { return policy.NewSRRIP() }, nil, nil))
+		train := frac(runPolicy(tr, thermNew, trainHints, nil))
+		sameHints := c.Hints(app, input, cfg.BTBEntries, cfg.BTBWays, profile.DefaultConfig())
+		same := frac(runPolicy(tr, thermNew, sameHints, nil))
+		outs[i] = outcome{true, srrip, train, same}
+	})
 	var sums [3]float64
 	count := 0
-	for _, app := range workload.AppNames() {
-		trainHints := c.Hints(app, 0, cfg.BTBEntries, cfg.BTBWays, profile.DefaultConfig())
-		for input := 1; input <= 3; input++ {
-			tr := c.AppTrace(app, input)
-			lru := runPolicy(tr, nil, nil, nil)
-			opt := runPolicy(tr, optNew, nil, nil)
-			den := core.Speedup(lru, opt)
-			if den <= 0 {
-				continue
-			}
-			frac := func(r *core.Result) float64 { return core.Speedup(lru, r) / den }
-
-			srrip := frac(runPolicy(tr, func() btb.Policy { return policy.NewSRRIP() }, nil, nil))
-			train := frac(runPolicy(tr, thermNew, trainHints, nil))
-			sameHints := c.Hints(app, input, cfg.BTBEntries, cfg.BTBWays, profile.DefaultConfig())
-			same := frac(runPolicy(tr, thermNew, sameHints, nil))
-
-			sums[0] += srrip
-			sums[1] += train
-			sums[2] += same
-			count++
-			t.AddRow(app, "#"+string(rune('0'+input)), pct(srrip), pct(train), pct(same))
+	for i, cl := range cells {
+		o := outs[i]
+		if !o.ok {
+			continue
 		}
+		sums[0] += o.srrip
+		sums[1] += o.train
+		sums[2] += o.same
+		count++
+		t.AddRow(cl.app, "#"+string(rune('0'+cl.input)), pct(o.srrip), pct(o.train), pct(o.same))
 	}
 	if count > 0 {
 		t.AddRow("Avg", "", pct(sums[0]/float64(count)), pct(sums[1]/float64(count)),
@@ -177,6 +208,8 @@ func Fig14(c *Context) []*Table {
 	}
 	cfg := core.DefaultConfig()
 	total := 0.0
+	// Serial by design: the table reports per-app wall-clock profiling
+	// time, which concurrent runs sharing cores would inflate.
 	for _, app := range workload.AppNames() {
 		tr := c.AppTrace(app, 0)
 		acc := tr.AccessStream()
@@ -201,17 +234,20 @@ func Fig15(c *Context) []*Table {
 		Header: []string{"app", "coverage"},
 	}
 	cfg := core.DefaultConfig()
-	sum := 0.0
-	for _, app := range workload.AppNames() {
-		tr := c.AppTrace(app, 0)
-		ht := c.Hints(app, 0, cfg.BTBEntries, cfg.BTBWays, profile.DefaultConfig())
+	apps := workload.AppNames()
+	covs := make([]float64, len(apps))
+	c.forEach(len(apps), func(i int) {
+		tr := c.AppTrace(apps[i], 0)
+		ht := c.Hints(apps[i], 0, cfg.BTBEntries, cfg.BTBWays, profile.DefaultConfig())
 		r := runPolicy(tr, thermNew, ht, nil)
-		th := r.Policy.(*policy.Thermometer)
-		cov := th.Coverage()
-		sum += cov
-		t.AddRow(app, pct(cov))
+		covs[i] = r.Policy.(*policy.Thermometer).Coverage()
+	})
+	sum := 0.0
+	for i, app := range apps {
+		sum += covs[i]
+		t.AddRow(app, pct(covs[i]))
 	}
-	t.AddRow("Avg", pct(sum/float64(len(workload.AppNames()))))
+	t.AddRow("Avg", pct(sum/float64(len(apps))))
 	t.Notes = append(t.Notes, "paper: 61.4% average coverage")
 	return []*Table{t}
 }
@@ -226,11 +262,12 @@ func Fig16(c *Context) []*Table {
 		Header: []string{"app", "Transient", "Holistic", "Thermometer"},
 	}
 	cfg := core.DefaultConfig()
-	var sums [3]float64
-	for _, app := range workload.AppNames() {
-		tr := c.AppTrace(app, 0)
+	apps := workload.AppNames()
+	allVals := make([][3]float64, len(apps))
+	c.forEach(len(apps), func(i int) {
+		tr := c.AppTrace(apps[i], 0)
 		acc := tr.AccessStream()
-		ht := c.Hints(app, 0, cfg.BTBEntries, cfg.BTBWays, profile.DefaultConfig())
+		ht := c.Hints(apps[i], 0, cfg.BTBEntries, cfg.BTBWays, profile.DefaultConfig())
 		run := func(p btb.Policy, hints *profile.HintTable) float64 {
 			r := replay.Run(acc, replay.Options{
 				Entries: cfg.BTBEntries, Ways: cfg.BTBWays,
@@ -238,19 +275,22 @@ func Fig16(c *Context) []*Table {
 			})
 			return replay.Accuracy(acc, r)
 		}
-		vals := [3]float64{
+		allVals[i] = [3]float64{
 			run(policy.NewTransientOnly(), nil),
 			run(policy.NewHolisticOnly(), ht),
 			run(policy.NewThermometer(), ht),
 		}
+	})
+	var sums [3]float64
+	for i, app := range apps {
 		row := []string{app}
-		for i, v := range vals {
-			sums[i] += v
+		for j, v := range allVals[i] {
+			sums[j] += v
 			row = append(row, pct(v))
 		}
 		t.AddRow(row...)
 	}
-	n := float64(len(workload.AppNames()))
+	n := float64(len(apps))
 	t.AddRow("Avg", pct(sums[0]/n), pct(sums[1]/n), pct(sums[2]/n))
 	t.Notes = append(t.Notes,
 		"paper: transient 46.06%, holistic 63.72%, Thermometer 68.20% (OPT is 100% by construction)")

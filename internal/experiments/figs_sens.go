@@ -42,6 +42,23 @@ func fracOfOPT(c *Context, app string, entries, ways int, mut func(*core.Config)
 	return core.Speedup(lru, th) / den, core.Speedup(lru, sr) / den
 }
 
+// sensPair is one (Thermometer, SRRIP) fraction-of-OPT grid cell.
+type sensPair struct{ th, sr float64 }
+
+// sensGrid evaluates a points×sensApps grid in parallel; eval computes one
+// cell, rows are assembled serially so the table is width-independent.
+func sensGrid(c *Context, points int, eval func(point, app int) sensPair) [][]sensPair {
+	flat := make([]sensPair, points*len(sensApps))
+	c.forEach(len(flat), func(i int) {
+		flat[i] = eval(i/len(sensApps), i%len(sensApps))
+	})
+	rows := make([][]sensPair, points)
+	for p := 0; p < points; p++ {
+		rows[p] = flat[p*len(sensApps) : (p+1)*len(sensApps)]
+	}
+	return rows
+}
+
 // Fig19 — sensitivity to the number of BTB entries (left) and BTB ways
 // (right), as % of the optimal policy's speedup.
 func Fig19(c *Context) []*Table {
@@ -53,11 +70,14 @@ func Fig19(c *Context) []*Table {
 	for _, app := range sensApps {
 		left.Header = append(left.Header, "Therm-"+app, "SRRIP-"+app)
 	}
-	for _, entries := range []int{1024, 2048, 4096, 8192, 16384, 32768} {
-		row := []string{fmt.Sprint(entries)}
-		for _, app := range sensApps {
-			th, sr := fracOfOPT(c, app, entries, 4, nil)
-			row = append(row, pct(th), pct(sr))
+	entriesList := []int{1024, 2048, 4096, 8192, 16384, 32768}
+	for p, cells := range sensGrid(c, len(entriesList), func(p, a int) sensPair {
+		th, sr := fracOfOPT(c, sensApps[a], entriesList[p], 4, nil)
+		return sensPair{th, sr}
+	}) {
+		row := []string{fmt.Sprint(entriesList[p])}
+		for _, cell := range cells {
+			row = append(row, pct(cell.th), pct(cell.sr))
 		}
 		left.AddRow(row...)
 	}
@@ -70,11 +90,14 @@ func Fig19(c *Context) []*Table {
 	for _, app := range sensApps {
 		right.Header = append(right.Header, "Therm-"+app, "SRRIP-"+app)
 	}
-	for _, ways := range []int{4, 8, 16, 32, 64, 128} {
-		row := []string{fmt.Sprint(ways)}
-		for _, app := range sensApps {
-			th, sr := fracOfOPT(c, app, 8192, ways, nil)
-			row = append(row, pct(th), pct(sr))
+	waysList := []int{4, 8, 16, 32, 64, 128}
+	for p, cells := range sensGrid(c, len(waysList), func(p, a int) sensPair {
+		th, sr := fracOfOPT(c, sensApps[a], 8192, waysList[p], nil)
+		return sensPair{th, sr}
+	}) {
+		row := []string{fmt.Sprint(waysList[p])}
+		for _, cell := range cells {
+			row = append(row, pct(cell.th), pct(cell.sr))
 		}
 		right.AddRow(row...)
 	}
@@ -96,33 +119,37 @@ func Fig20(c *Context) []*Table {
 	for _, app := range sensApps {
 		left.Header = append(left.Header, "Therm-"+app)
 	}
-	for _, cats := range []int{2, 3, 4, 8, 16} {
-		row := []string{fmt.Sprint(cats)}
-		for _, app := range sensApps {
-			tr := c.AppTrace(app, 0)
-			var pcfg profile.Config
-			if cats == 3 {
-				pcfg = profile.DefaultConfig() // the paper's 50%/80%
-			} else {
-				res := beladyResult(tr)
-				pcfg = profile.Config{
-					Thresholds:      profile.QuantileThresholds(res, cats),
-					DefaultCategory: uint8(cats / 2),
-				}
+	catsList := []int{2, 3, 4, 8, 16}
+	for p, cells := range sensGrid(c, len(catsList), func(p, a int) sensPair {
+		cats := catsList[p]
+		tr := c.AppTrace(sensApps[a], 0)
+		var pcfg profile.Config
+		if cats == 3 {
+			pcfg = profile.DefaultConfig() // the paper's 50%/80%
+		} else {
+			res := beladyResult(tr)
+			pcfg = profile.Config{
+				Thresholds:      profile.QuantileThresholds(res, cats),
+				DefaultCategory: uint8(cats / 2),
 			}
-			ht, _, err := profile.ProfileTrace(tr, cfg.BTBEntries, cfg.BTBWays, pcfg)
-			if err != nil {
-				panic(err)
-			}
-			lru := runPolicy(tr, nil, nil, nil)
-			opt := runPolicy(tr, optNew, nil, nil)
-			den := core.Speedup(lru, opt)
-			th := runPolicy(tr, thermNew, ht, nil)
-			frac := 0.0
-			if den > 0 {
-				frac = core.Speedup(lru, th) / den
-			}
-			row = append(row, pct(frac))
+		}
+		ht, _, err := profile.ProfileTrace(tr, cfg.BTBEntries, cfg.BTBWays, pcfg)
+		if err != nil {
+			panic(err)
+		}
+		lru := runPolicy(tr, nil, nil, nil)
+		opt := runPolicy(tr, optNew, nil, nil)
+		den := core.Speedup(lru, opt)
+		th := runPolicy(tr, thermNew, ht, nil)
+		frac := 0.0
+		if den > 0 {
+			frac = core.Speedup(lru, th) / den
+		}
+		return sensPair{th: frac}
+	}) {
+		row := []string{fmt.Sprint(catsList[p])}
+		for _, cell := range cells {
+			row = append(row, pct(cell.th))
 		}
 		left.AddRow(row...)
 	}
@@ -136,13 +163,16 @@ func Fig20(c *Context) []*Table {
 	for _, app := range sensApps {
 		right.Header = append(right.Header, "Therm-"+app, "SRRIP-"+app)
 	}
-	for _, ftq := range []int{64, 128, 192, 256} {
-		row := []string{fmt.Sprint(ftq)}
-		for _, app := range sensApps {
-			th, sr := fracOfOPT(c, app, cfg.BTBEntries, cfg.BTBWays, func(cc *core.Config) {
-				cc.FTQInstrCap = ftq
-			})
-			row = append(row, pct(th), pct(sr))
+	ftqList := []int{64, 128, 192, 256}
+	for p, cells := range sensGrid(c, len(ftqList), func(p, a int) sensPair {
+		th, sr := fracOfOPT(c, sensApps[a], cfg.BTBEntries, cfg.BTBWays, func(cc *core.Config) {
+			cc.FTQInstrCap = ftqList[p]
+		})
+		return sensPair{th, sr}
+	}) {
+		row := []string{fmt.Sprint(ftqList[p])}
+		for _, cell := range cells {
+			row = append(row, pct(cell.th), pct(cell.sr))
 		}
 		right.AddRow(row...)
 	}
@@ -160,8 +190,10 @@ func Fig21(c *Context) []*Table {
 		Header: []string{"app", "SRRIP", "Thermometer", "OPT"},
 	}
 	cfg := core.DefaultConfig()
-	var sums, sumsNoVeri [3]float64
-	for _, app := range workload.AppNames() {
+	apps := workload.AppNames()
+	allVals := make([][3]float64, len(apps))
+	c.forEach(len(apps), func(i int) {
+		app := apps[i]
 		tr := c.AppTrace(app, 0)
 		tw := prefetch.TrainTwig(tr, prefetch.TwigConfig{
 			Entries: cfg.BTBEntries, Ways: cfg.BTBWays,
@@ -171,22 +203,25 @@ func Fig21(c *Context) []*Table {
 
 		base := runPolicy(tr, nil, nil, withTwig)
 		sp := func(r *core.Result) float64 { return core.Speedup(base, r) }
-		vals := [3]float64{
+		allVals[i] = [3]float64{
 			sp(runPolicy(tr, func() btb.Policy { return policy.NewSRRIP() }, nil, withTwig)),
 			sp(runPolicy(tr, thermNew, ht, withTwig)),
 			sp(runPolicy(tr, optNew, nil, withTwig)),
 		}
+	})
+	var sums, sumsNoVeri [3]float64
+	for i, app := range apps {
 		row := []string{app}
-		for i, v := range vals {
-			sums[i] += v
+		for j, v := range allVals[i] {
+			sums[j] += v
 			if app != "verilator" {
-				sumsNoVeri[i] += v
+				sumsNoVeri[j] += v
 			}
 			row = append(row, pct(v))
 		}
 		t.AddRow(row...)
 	}
-	n := float64(len(workload.AppNames()))
+	n := float64(len(apps))
 	t.AddRow("Avg no verilator", pct(sumsNoVeri[0]/(n-1)), pct(sumsNoVeri[1]/(n-1)), pct(sumsNoVeri[2]/(n-1)))
 	t.AddRow("Avg", pct(sums[0]/n), pct(sums[1]/n), pct(sums[2]/n))
 	t.Notes = append(t.Notes,

@@ -76,10 +76,10 @@ func runCBP5Trace(i int) cbpResult {
 // suite, with default and two-fold cross-validated thresholds.
 func Fig17(c *Context) []*Table {
 	n := c.cbp5Count()
-	results := make([]cbpResult, 0, n)
-	for i := 0; i < n; i++ {
-		results = append(results, runCBP5Trace(i))
-	}
+	results := make([]cbpResult, n)
+	c.forEach(n, func(i int) {
+		results[i] = runCBP5Trace(i)
+	})
 
 	var wins, losses, ties, compulsory, lossesTwoFold int
 	var sum, sumTwoFold, sumHighMPKI float64
@@ -153,8 +153,8 @@ func Fig18(c *Context) []*Table {
 		srrip, ghrp, hawkeye, therm, opt float64
 		mpki                             float64
 	}
-	rows := make([]row, 0, n)
-	for i := 0; i < n; i++ {
+	rows := make([]row, n)
+	c.forEach(n, func(i int) {
 		tr := workload.IPC1Spec(i).Generate(0)
 		ht, _, err := profile.ProfileTrace(tr, cfg.BTBEntries, cfg.BTBWays, profile.DefaultConfig())
 		if err != nil {
@@ -162,15 +162,15 @@ func Fig18(c *Context) []*Table {
 		}
 		lru := runPolicy(tr, nil, nil, nil)
 		sp := func(r *core.Result) float64 { return core.Speedup(lru, r) }
-		rows = append(rows, row{
+		rows[i] = row{
 			srrip:   sp(runPolicy(tr, policyFactories()[0].New, nil, nil)),
 			ghrp:    sp(runPolicy(tr, policyFactories()[1].New, nil, nil)),
 			hawkeye: sp(runPolicy(tr, policyFactories()[2].New, nil, nil)),
 			therm:   sp(runPolicy(tr, thermNew, ht, nil)),
 			opt:     sp(runPolicy(tr, optNew, nil, nil)),
 			mpki:    lru.BTBMPKI(),
-		})
-	}
+		}
+	})
 	var s row
 	var sHigh row
 	high := 0

@@ -1,0 +1,50 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+)
+
+// renderAll runs the given experiments on a fresh context at the given pool
+// width and returns the concatenated rendered tables.
+func renderAll(t *testing.T, ids []string, workers int) []byte {
+	t.Helper()
+	c := NewContext(16)
+	c.CBP5Traces = 2
+	c.IPC1Traces = 2
+	c.Workers = workers
+	var buf bytes.Buffer
+	for _, id := range ids {
+		for _, tab := range c.Run(id) {
+			tab.Render(&buf)
+		}
+	}
+	return buf.Bytes()
+}
+
+// TestGoldenParallelDeterminism is the determinism acceptance test for the
+// experiment port onto the worker pool: rendered figures must be
+// byte-identical at -parallel=1 and -parallel=8. The chosen experiments
+// cover every loop shape — per-app (fig1), per-app with hint profiling
+// (fig11), replay-based (fig12), flattened app×input with skipped cells
+// (fig13), CBP-5 suite (fig17), sensitivity grid (fig19), and the
+// app×policy attribution grid (regret).
+func TestGoldenParallelDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow determinism sweep")
+	}
+	ids := []string{"fig1", "fig11", "fig12", "fig13", "fig17", "fig19", "regret"}
+	serial := renderAll(t, ids, 1)
+	parallel := renderAll(t, ids, 8)
+	if !bytes.Equal(serial, parallel) {
+		a, b := string(serial), string(parallel)
+		for i := 0; i < len(a) && i < len(b); i++ {
+			if a[i] != b[i] {
+				lo := max(0, i-120)
+				t.Fatalf("output diverges at byte %d:\nserial:   …%s\nparallel: …%s",
+					i, a[lo:min(len(a), i+40)], b[lo:min(len(b), i+40)])
+			}
+		}
+		t.Fatalf("output lengths differ: serial %d bytes, parallel %d bytes", len(serial), len(parallel))
+	}
+}

@@ -43,30 +43,33 @@ func Regret(c *Context) []*Table {
 		{"SRRIP", func() btb.Policy { return policy.NewSRRIP() }, false},
 		{"Thermometer", func() btb.Policy { return policy.NewThermometer() }, true},
 	}
-	for _, app := range apps {
+	rows := make([][]string, len(apps)*len(policies))
+	c.forEach(len(rows), func(i int) {
+		app, p := apps[i/len(policies)], policies[i%len(policies)]
 		tr := c.AppTrace(app, 0)
 		ht := c.Hints(app, 0, cfg.BTBEntries, cfg.BTBWays, profile.DefaultConfig())
-		for _, p := range policies {
-			att := attribution.New(attribution.Options{})
-			hints := (*profile.HintTable)(nil)
-			if p.hints {
-				hints = ht
-			}
-			r := runPolicy(tr, p.mk, hints, func(c *core.Config) { c.Attribution = att })
-			_, _, misses, regret := att.Counts()
-			frac := func(n uint64) string {
-				if misses.Total == 0 {
-					return "0.00"
-				}
-				return pct(float64(n) / float64(misses.Total))
-			}
-			t.AddRow(app, p.name, f2(r.BTBMPKI()),
-				frac(misses.Compulsory), frac(misses.Capacity), frac(misses.Conflict),
-				pct(regret.AgreeRate),
-				fmt.Sprintf("%d", regret.Charged),
-				fmt.Sprintf("%d", regret.Windfall),
-				fmt.Sprintf("%d", regret.Net))
+		att := attribution.New(attribution.Options{})
+		hints := (*profile.HintTable)(nil)
+		if p.hints {
+			hints = ht
 		}
+		r := runPolicy(tr, p.mk, hints, func(c *core.Config) { c.Attribution = att })
+		_, _, misses, regret := att.Counts()
+		frac := func(n uint64) string {
+			if misses.Total == 0 {
+				return "0.00"
+			}
+			return pct(float64(n) / float64(misses.Total))
+		}
+		rows[i] = []string{app, p.name, f2(r.BTBMPKI()),
+			frac(misses.Compulsory), frac(misses.Capacity), frac(misses.Conflict),
+			pct(regret.AgreeRate),
+			fmt.Sprintf("%d", regret.Charged),
+			fmt.Sprintf("%d", regret.Windfall),
+			fmt.Sprintf("%d", regret.Net)}
+	})
+	for _, row := range rows {
+		t.AddRow(row...)
 	}
 	t.Notes = append(t.Notes,
 		"net regret = charged - windfall = policy misses - OPT misses (exact, per TestRegretConservation); compulsory/capacity/conflict partition the demand misses",

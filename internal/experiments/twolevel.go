@@ -24,8 +24,9 @@ func TwoLevel(c *Context) []*Table {
 	}
 	cfg := core.DefaultConfig()
 	apps := []string{"cassandra", "mediawiki", "tomcat", "wordpress"}
-	var sums [5]float64
-	for _, app := range apps {
+	allVals := make([][5]float64, len(apps))
+	c.forEach(len(apps), func(i int) {
+		app := apps[i]
 		tr := c.AppTrace(app, 0)
 		ht := c.Hints(app, 0, cfg.BTBEntries, cfg.BTBWays, profile.DefaultConfig())
 
@@ -39,10 +40,13 @@ func TwoLevel(c *Context) []*Table {
 		tlOPT := core.Speedup(tlLRU, runPolicy(tr, optNew, nil, twoLvl))
 		tlBase := core.Speedup(monoLRU, tlLRU)
 
-		vals := [5]float64{monoTherm, monoOPT, tlTherm, tlOPT, tlBase}
+		allVals[i] = [5]float64{monoTherm, monoOPT, tlTherm, tlOPT, tlBase}
+	})
+	var sums [5]float64
+	for i, app := range apps {
 		row := []string{app}
-		for i, v := range vals {
-			sums[i] += v
+		for j, v := range allVals[i] {
+			sums[j] += v
 			row = append(row, pct(v))
 		}
 		t.AddRow(row...)

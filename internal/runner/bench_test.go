@@ -1,0 +1,79 @@
+package runner
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"testing"
+)
+
+// benchGrid is the acceptance grid: 4 policies × 8 workloads of timing
+// simulation. Scale 16 keeps one serial pass around a second so the
+// parallel/serial ratio is dominated by simulation, not setup.
+func benchGrid(b *testing.B) []Spec {
+	b.Helper()
+	apps := []string{"cassandra", "clang", "drupal", "kafka", "mysql", "python", "tomcat", "wordpress"}
+	bases := make([]Spec, len(apps))
+	for i, app := range apps {
+		bases[i] = Spec{App: app, Scale: 16}
+	}
+	specs, err := Grid(bases, []string{"lru", "srrip", "ghrp", "hawkeye"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return specs
+}
+
+func runSweepBench(b *testing.B, workers int) {
+	specs := benchGrid(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := &Engine{Workers: workers}
+		results := e.Sweep(context.Background(), specs)
+		for _, r := range results {
+			if r.Err != "" {
+				b.Fatalf("job failed: %s", r.Err)
+			}
+		}
+	}
+}
+
+// BenchmarkSweepSerial is the single-worker baseline for the 4-policy ×
+// 8-workload acceptance grid.
+func BenchmarkSweepSerial(b *testing.B) { runSweepBench(b, 1) }
+
+// BenchmarkSweepParallel runs the same grid at full pool width. At
+// GOMAXPROCS >= 4 it must show >= 3x wall-clock speedup over
+// BenchmarkSweepSerial (compare ns/op).
+func BenchmarkSweepParallel(b *testing.B) { runSweepBench(b, 0) }
+
+// BenchmarkSweepWidths reports scaling across explicit pool widths.
+func BenchmarkSweepWidths(b *testing.B) {
+	for _, w := range []int{1, 2, 4, 8} {
+		if w > runtime.GOMAXPROCS(0) {
+			continue
+		}
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) { runSweepBench(b, w) })
+	}
+}
+
+// BenchmarkSweepCached measures a fully warmed content-addressed cache:
+// the whole grid served without simulating.
+func BenchmarkSweepCached(b *testing.B) {
+	specs := benchGrid(b)
+	cache, err := NewCache(len(specs), "")
+	if err != nil {
+		b.Fatal(err)
+	}
+	e := &Engine{Workers: 0, Cache: cache}
+	e.Sweep(context.Background(), specs) // warm
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		results := e.Sweep(context.Background(), specs)
+		for _, r := range results {
+			if !r.Cached {
+				b.Fatal("cache miss on warmed sweep")
+			}
+		}
+	}
+}

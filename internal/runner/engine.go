@@ -1,0 +1,168 @@
+package runner
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"thermometer/internal/telemetry"
+)
+
+// Engine executes sweeps: grids of Specs fanned out over a bounded worker
+// pool, with results merged in submission order and an optional
+// content-addressed cache consulted per job. The zero value is usable; all
+// fields are read-only once the first sweep starts.
+type Engine struct {
+	// Workers bounds pool width (<= 0: runtime.GOMAXPROCS(0); 1: serial).
+	Workers int
+	// Cache, when non-nil, is consulted (and filled) per job by canonical
+	// spec hash.
+	Cache *Cache
+	// Metrics, when non-nil, receives runner telemetry: runner_jobs_*,
+	// runner_cache_*, runner_queue_depth, runner_jobs_inflight, and — when
+	// NowNanos is also set — the runner_job_latency_us histogram.
+	Metrics *telemetry.Registry
+	// NowNanos, when non-nil, is the injected monotonic-ish clock used
+	// ONLY for the job latency histogram. Job execution itself must stay
+	// timestamp-free (the noambient analyzer forbids time.Now in this
+	// package), so the serving layer injects its clock here and cached
+	// results stay interchangeable with fresh ones.
+	NowNanos func() int64
+
+	mu         sync.Mutex
+	traces     map[string]*traceSlot
+	hintTables map[string]*hintSlot
+	queued     atomic.Int64
+	inflight   atomic.Int64
+
+	// execHook, when non-nil, replaces the simulation executor (tests use
+	// it to inject panics and synthetic outcomes).
+	execHook func(Spec) (*Outcome, error)
+}
+
+// Result is one job's outcome envelope. Within a sweep, results are
+// ordered exactly like the submitted specs regardless of pool width.
+type Result struct {
+	// Spec is the normalized spec (defaults explicit); for invalid
+	// submissions it echoes the input as received.
+	Spec Spec `json:"spec"`
+	// Key is the spec's content address ("" for invalid specs).
+	Key string `json:"key,omitempty"`
+	// Cached reports that the outcome was served from the result cache.
+	Cached bool `json:"cached,omitempty"`
+	// Outcome is the simulation result (nil when Err is set).
+	Outcome *Outcome `json:"outcome,omitempty"`
+	// Err describes why the job failed: an invalid spec, a cancelled
+	// sweep, or a panicking simulation (isolated to this job).
+	Err string `json:"error,omitempty"`
+}
+
+// Sweep executes the specs and returns one Result per spec, in submission
+// order — the output is byte-identical at any Workers setting. A cancelled
+// context fails jobs that have not yet started (running simulations are
+// not interruptible); a panicking job becomes a failed Result without
+// affecting its neighbors.
+func (e *Engine) Sweep(ctx context.Context, specs []Spec) []Result {
+	results := make([]Result, len(specs))
+	e.queued.Add(int64(len(specs)))
+	e.setGauges()
+	if m := e.Metrics; m != nil {
+		m.Counter("runner_sweeps_total").Inc()
+		m.Counter("runner_jobs_total").Add(uint64(len(specs)))
+	}
+	ForEach(e.Workers, len(specs), func(i int) {
+		e.queued.Add(-1)
+		e.inflight.Add(1)
+		e.setGauges()
+		results[i] = e.runJob(ctx, specs[i])
+		e.inflight.Add(-1)
+		e.setGauges()
+	})
+	return results
+}
+
+// Run executes a single spec (a one-job sweep).
+func (e *Engine) Run(ctx context.Context, spec Spec) Result {
+	return e.Sweep(ctx, []Spec{spec})[0]
+}
+
+func (e *Engine) runJob(ctx context.Context, spec Spec) Result {
+	norm, err := spec.Normalized()
+	if err != nil {
+		e.count("runner_jobs_invalid")
+		return Result{Spec: spec, Err: "invalid spec: " + err.Error()}
+	}
+	res := Result{Spec: norm, Key: norm.Key()}
+	if ctx != nil && ctx.Err() != nil {
+		e.count("runner_jobs_canceled")
+		res.Err = "canceled: " + ctx.Err().Error()
+		return res
+	}
+	if e.Cache != nil {
+		if out, ok := e.Cache.Get(res.Key); ok {
+			e.count("runner_cache_hits")
+			res.Cached = true
+			res.Outcome = out
+			return res
+		}
+		e.count("runner_cache_misses")
+	}
+
+	var start int64
+	if e.NowNanos != nil {
+		start = e.NowNanos()
+	}
+	out, err := e.executeSafe(norm)
+	if e.NowNanos != nil && e.Metrics != nil {
+		if d := e.NowNanos() - start; d > 0 {
+			e.Metrics.Histogram("runner_job_latency_us").Observe(uint64(d) / 1000)
+		}
+	}
+	if err != nil {
+		e.count("runner_jobs_failed")
+		res.Err = err.Error()
+		return res
+	}
+	res.Outcome = out
+	if e.Cache != nil {
+		e.Cache.Put(res.Key, out)
+	}
+	e.count("runner_jobs_done")
+	return res
+}
+
+// executeSafe isolates a job panic: a panicking simulation (bad geometry,
+// internal invariant violation) fails that one job instead of unwinding
+// the whole sweep.
+func (e *Engine) executeSafe(spec Spec) (out *Outcome, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			out, err = nil, fmt.Errorf("job panicked: %v", r)
+		}
+	}()
+	if e.execHook != nil {
+		return e.execHook(spec)
+	}
+	return e.execute(spec)
+}
+
+func (e *Engine) count(name string) {
+	if e.Metrics != nil {
+		e.Metrics.Counter(name).Inc()
+	}
+}
+
+func (e *Engine) setGauges() {
+	if m := e.Metrics; m != nil {
+		m.Gauge("runner_queue_depth").Set(uint64(max64(e.queued.Load(), 0)))
+		m.Gauge("runner_jobs_inflight").Set(uint64(max64(e.inflight.Load(), 0)))
+	}
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,164 @@
+package runner
+
+import (
+	"fmt"
+	"sync"
+
+	"thermometer/internal/core"
+	"thermometer/internal/profile"
+	"thermometer/internal/replay"
+	"thermometer/internal/trace"
+	"thermometer/internal/workload"
+)
+
+// Outcome is the result payload of one job: plain numbers that are a pure
+// function of the normalized Spec. It deliberately carries no timestamps
+// and no machine-dependent fields, so cached and fresh outcomes are
+// interchangeable and the JSON encoding is byte-stable.
+type Outcome struct {
+	// Trace is the resolved trace name.
+	Trace string `json:"trace"`
+	// Instructions and Cycles are post-warmup totals (Cycles is 0 in
+	// replay mode, which has no clock).
+	Instructions uint64  `json:"instructions"`
+	Cycles       uint64  `json:"cycles,omitempty"`
+	IPC          float64 `json:"ipc,omitempty"`
+
+	// BTB demand traffic.
+	Accesses uint64 `json:"accesses"`
+	Hits     uint64 `json:"hits"`
+	Misses   uint64 `json:"misses"`
+	Bypasses uint64 `json:"bypasses,omitempty"`
+	// MPKI is demand BTB misses per kilo-instruction.
+	MPKI float64 `json:"mpki"`
+
+	// Timing-mode extras: redirect counts and stall attribution.
+	BTBMissRedirects uint64 `json:"btb_miss_redirects,omitempty"`
+	DirMispredicts   uint64 `json:"dir_mispredicts,omitempty"`
+	RedirectStall    uint64 `json:"redirect_stall,omitempty"`
+	ICacheStall      uint64 `json:"icache_stall,omitempty"`
+	DataStall        uint64 `json:"data_stall,omitempty"`
+}
+
+// traceSlot and hintSlot are single-flight cache entries: the map lookup
+// is cheap and mutex-guarded, generation runs once outside the lock.
+type traceSlot struct {
+	once sync.Once
+	tr   *trace.Trace
+}
+
+type hintSlot struct {
+	once sync.Once
+	ht   *profile.HintTable
+	err  error
+}
+
+// trace returns (and caches) the trace for a normalized spec. Concurrent
+// requests for the same trace generate it exactly once.
+func (e *Engine) trace(s Spec) *trace.Trace {
+	key := fmt.Sprintf("%s/%s/%d#%d/%d", s.Suite, s.App, s.Index, s.Input, s.Scale)
+	e.mu.Lock()
+	if e.traces == nil {
+		e.traces = make(map[string]*traceSlot)
+	}
+	slot := e.traces[key]
+	if slot == nil {
+		slot = &traceSlot{}
+		e.traces[key] = slot
+	}
+	e.mu.Unlock()
+	slot.once.Do(func() {
+		var spec workload.AppSpec
+		switch s.Suite {
+		case SuiteCBP5:
+			spec = workload.CBP5Spec(s.Index)
+		case SuiteIPC1:
+			spec = workload.IPC1Spec(s.Index)
+		default:
+			spec, _ = workload.App(s.App) // existence checked by Normalized
+		}
+		slot.tr = spec.ScaleLength(1, s.Scale).Generate(s.Input)
+	})
+	return slot.tr
+}
+
+// hints returns (and caches) the profile-guided hint table for a
+// normalized spec's trace at its profiling geometry.
+func (e *Engine) hints(s Spec, tr *trace.Trace) (*profile.HintTable, error) {
+	entries := s.BTBEntries
+	if s.HintEntries > 0 {
+		entries = s.HintEntries
+	}
+	key := fmt.Sprintf("%s/%s/%d#%d/%d@%dx%d", s.Suite, s.App, s.Index, s.Input, s.Scale, entries, s.BTBWays)
+	e.mu.Lock()
+	if e.hintTables == nil {
+		e.hintTables = make(map[string]*hintSlot)
+	}
+	slot := e.hintTables[key]
+	if slot == nil {
+		slot = &hintSlot{}
+		e.hintTables[key] = slot
+	}
+	e.mu.Unlock()
+	slot.once.Do(func() {
+		slot.ht, _, slot.err = profile.ProfileTrace(tr, entries, s.BTBWays, profile.DefaultConfig())
+	})
+	return slot.ht, slot.err
+}
+
+// execute runs one normalized spec to completion. It is a pure function of
+// the spec: no wall clock, no ambient randomness, no shared mutable state
+// beyond the single-flight trace/hint caches (whose contents are
+// themselves pure functions of the spec fields that key them).
+func (e *Engine) execute(s Spec) (*Outcome, error) {
+	tr := e.trace(s)
+	var ht *profile.HintTable
+	if s.Hints {
+		var err error
+		if ht, err = e.hints(s, tr); err != nil {
+			return nil, fmt.Errorf("profiling hints: %w", err)
+		}
+	}
+
+	out := &Outcome{Trace: tr.Name}
+	switch s.Mode {
+	case ModeReplay:
+		r := replay.Run(tr.AccessStream(), replay.Options{
+			Entries: s.BTBEntries,
+			Ways:    s.BTBWays,
+			Sets:    s.BTBSets,
+			Policy:  policies[s.Policy](),
+			Hints:   ht,
+		})
+		out.Instructions = tr.Instructions()
+		out.Accesses = r.Stats.Accesses
+		out.Hits = r.Stats.Hits
+		out.Misses = r.Stats.Misses
+		out.Bypasses = r.Stats.Bypasses
+		if out.Instructions > 0 {
+			out.MPKI = float64(out.Misses) / float64(out.Instructions) * 1000
+		}
+	default: // ModeTiming
+		cfg := core.DefaultConfig()
+		cfg.BTBEntries = s.BTBEntries
+		cfg.BTBWays = s.BTBWays
+		cfg.BTBSets = s.BTBSets
+		cfg.NewPolicy = policies[s.Policy]
+		cfg.Hints = ht
+		r := core.Run(tr, cfg)
+		out.Instructions = r.Instructions
+		out.Cycles = r.Cycles
+		out.IPC = r.IPC()
+		out.Accesses = r.BTB.Accesses
+		out.Hits = r.BTB.Hits
+		out.Misses = r.BTB.Misses
+		out.Bypasses = r.BTB.Bypasses
+		out.MPKI = r.BTBMPKI()
+		out.BTBMissRedirects = r.BTBMissRedirects
+		out.DirMispredicts = r.DirMispredicts
+		out.RedirectStall = r.RedirectStall
+		out.ICacheStall = r.ICacheStall
+		out.DataStall = r.DataStall
+	}
+	return out, nil
+}

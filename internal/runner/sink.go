@@ -1,0 +1,92 @@
+package runner
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteJSON writes the sweep results as an indented JSON array. The
+// encoding is deterministic: struct field order is fixed and float fields
+// use Go's shortest-round-trip formatting, so a sweep run at any pool
+// width produces byte-identical output.
+func WriteJSON(w io.Writer, results []Result) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(results)
+}
+
+// csvHeader is the fixed column set of WriteCSV.
+var csvHeader = []string{
+	"key", "suite", "app", "index", "input", "scale", "mode", "policy",
+	"hints", "btb_entries", "btb_ways", "trace", "instructions", "cycles",
+	"ipc", "accesses", "hits", "misses", "mpki", "cached", "error",
+}
+
+// WriteCSV writes one row per result with a fixed header, deterministic at
+// any pool width (the "cached" column reflects cache state, so golden
+// comparisons should use equally warmed — typically fresh — engines).
+func WriteCSV(w io.Writer, results []Result) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvHeader); err != nil {
+		return err
+	}
+	for _, r := range results {
+		s := r.Spec
+		row := []string{
+			r.Key, s.Suite, s.App,
+			strconv.Itoa(s.Index), strconv.Itoa(s.Input), strconv.Itoa(s.Scale),
+			s.Mode, s.Policy, strconv.FormatBool(s.Hints),
+			strconv.Itoa(s.BTBEntries), strconv.Itoa(s.BTBWays),
+		}
+		if o := r.Outcome; o != nil {
+			row = append(row,
+				o.Trace,
+				strconv.FormatUint(o.Instructions, 10),
+				strconv.FormatUint(o.Cycles, 10),
+				formatFloat(o.IPC),
+				strconv.FormatUint(o.Accesses, 10),
+				strconv.FormatUint(o.Hits, 10),
+				strconv.FormatUint(o.Misses, 10),
+				formatFloat(o.MPKI),
+			)
+		} else {
+			row = append(row, "", "", "", "", "", "", "", "")
+		}
+		row = append(row, strconv.FormatBool(r.Cached), r.Err)
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// formatFloat renders a float deterministically (shortest round-trip).
+func formatFloat(f float64) string { return strconv.FormatFloat(f, 'g', -1, 64) }
+
+// Grid expands the cross product of policies × specs: for each base spec
+// and each policy name it yields a copy with the policy set (and Hints
+// enabled for the thermometer-family policies that need them). It is the
+// canonical way sweeps over the paper's policy roster are built.
+func Grid(bases []Spec, policyNames []string) ([]Spec, error) {
+	out := make([]Spec, 0, len(bases)*len(policyNames))
+	for _, b := range bases {
+		for _, p := range policyNames {
+			s := b
+			s.Policy = p
+			switch p {
+			case "thermometer", "thermometer-nobypass", "holistic":
+				s.Hints = true
+			}
+			n, err := s.Normalized()
+			if err != nil {
+				return nil, fmt.Errorf("grid spec %s/%s: %w", b.TraceName(), p, err)
+			}
+			out = append(out, n)
+		}
+	}
+	return out, nil
+}
