@@ -1,0 +1,210 @@
+// Command benchsnap measures the runner acceptance grid (4 replacement
+// policies × 8 data center workloads) and emits a canonical perf snapshot
+// (BENCH_<n>.json), or compares two snapshots and gates on throughput
+// regressions.
+//
+// Measure and write a snapshot:
+//
+//	benchsnap -o BENCH_1.json
+//
+// Measure and gate against the checked-in baseline (CI mode):
+//
+//	benchsnap -compare BENCH_0.json -o bench-new.json
+//
+// Diff two existing snapshots without measuring:
+//
+//	benchsnap -compare BENCH_0.json -with bench-new.json
+//
+// Every cell runs serially (Workers=1, no cache) so the numbers measure the
+// simulator, not the pool. Cross-machine comparisons are made on
+// machine-normalized scores: each cell's median ns divided by the wall time
+// of a fixed sha256 calibration loop measured in the same session.
+package main
+
+import (
+	"context"
+	"crypto/sha256"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"time"
+
+	"thermometer/internal/perfsnap"
+	"thermometer/internal/runner"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "benchsnap:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("benchsnap", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		out       = fs.String("o", "", "write the measured snapshot to this file (default: stdout when not comparing)")
+		compare   = fs.String("compare", "", "baseline snapshot to gate against")
+		with      = fs.String("with", "", "with -compare: diff this snapshot file instead of measuring")
+		samples   = fs.Int("samples", 5, "timed iterations per grid cell")
+		warmup    = fs.Int("warmup", 1, "discarded warm-up iterations per grid cell")
+		scale     = fs.Int("scale", 16, "trace scale divisor for the grid")
+		threshold = fs.Float64("threshold", 0.10, "relative slowdown that counts as a regression")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *with != "" && *compare == "" {
+		return fmt.Errorf("-with requires -compare")
+	}
+	if *samples < 1 {
+		return fmt.Errorf("-samples must be >= 1")
+	}
+
+	var snap *perfsnap.Snapshot
+	if *with != "" {
+		b, err := os.ReadFile(*with)
+		if err != nil {
+			return err
+		}
+		if snap, err = perfsnap.Parse(b); err != nil {
+			return fmt.Errorf("%s: %w", *with, err)
+		}
+	} else {
+		var err error
+		if snap, err = measure(*scale, *samples, *warmup, stderr); err != nil {
+			return err
+		}
+	}
+
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		if err := snap.Write(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintln(stderr, "wrote", *out)
+	} else if *compare == "" {
+		if err := snap.Write(stdout); err != nil {
+			return err
+		}
+	}
+
+	if *compare == "" {
+		return nil
+	}
+	b, err := os.ReadFile(*compare)
+	if err != nil {
+		return err
+	}
+	base, err := perfsnap.Parse(b)
+	if err != nil {
+		return fmt.Errorf("%s: %w", *compare, err)
+	}
+	rep := perfsnap.Compare(base, snap, *threshold)
+	if err := rep.WriteText(stdout); err != nil {
+		return err
+	}
+	if rep.Failed() {
+		return fmt.Errorf("throughput regression vs %s (%d regressed, %d baseline cell(s) missing)",
+			*compare, rep.Regressions, len(rep.OnlyOld))
+	}
+	return nil
+}
+
+// gridApps and gridPolicies mirror the runner acceptance benchmarks
+// (internal/runner/bench_test.go).
+var (
+	gridApps     = []string{"cassandra", "clang", "drupal", "kafka", "mysql", "python", "tomcat", "wordpress"}
+	gridPolicies = []string{"lru", "srrip", "ghrp", "hawkeye"}
+)
+
+func measure(scale, samples, warmup int, progress io.Writer) (*perfsnap.Snapshot, error) {
+	bases := make([]runner.Spec, len(gridApps))
+	for i, app := range gridApps {
+		bases[i] = runner.Spec{App: app, Scale: scale}
+	}
+	specs, err := runner.Grid(bases, gridPolicies)
+	if err != nil {
+		return nil, err
+	}
+
+	snap := &perfsnap.Snapshot{
+		Schema:  perfsnap.SchemaVersion,
+		Grid:    fmt.Sprintf("%dx%d", len(gridPolicies), len(gridApps)),
+		Scale:   scale,
+		Samples: samples,
+		Machine: perfsnap.Machine{
+			GoOS:       runtime.GOOS,
+			GoArch:     runtime.GOARCH,
+			NumCPU:     runtime.NumCPU(),
+			GoMaxProcs: runtime.GOMAXPROCS(0),
+			GoVersion:  runtime.Version(),
+		},
+	}
+
+	calib := make([]float64, samples+warmup)
+	for i := range calib {
+		calib[i] = float64(calibrate())
+	}
+	snap.CalibNs = perfsnap.Median(calib[warmup:])
+
+	ctx := context.Background()
+	for _, spec := range specs {
+		cell := perfsnap.Cell{Policy: spec.Policy, App: spec.App}
+		for i := 0; i < warmup+samples; i++ {
+			// A fresh cache-less engine per iteration: every run simulates.
+			e := &runner.Engine{Workers: 1}
+			var before, after runtime.MemStats
+			runtime.ReadMemStats(&before)
+			start := time.Now()
+			r := e.Run(ctx, spec)
+			elapsed := time.Since(start)
+			runtime.ReadMemStats(&after)
+			if r.Err != "" {
+				return nil, fmt.Errorf("%s/%s: %s", spec.Policy, spec.App, r.Err)
+			}
+			if i < warmup {
+				continue
+			}
+			cell.SamplesNs = append(cell.SamplesNs, float64(elapsed.Nanoseconds()))
+			cell.AllocsPerOp += after.Mallocs - before.Mallocs
+			cell.Blocks = r.Outcome.Accesses
+		}
+		cell.AllocsPerOp /= uint64(samples)
+		snap.Cells = append(snap.Cells, cell)
+		fmt.Fprintf(progress, "  %-10s %-10s median %s\n",
+			spec.Policy, spec.App, time.Duration(int64(perfsnap.Median(cell.SamplesNs))))
+	}
+	snap.Finalize()
+	return snap, nil
+}
+
+// calibrate times one pass of a fixed CPU-bound reference loop (sha256 over
+// a 64 KiB buffer, chained 256 times). Its wall time scales with the
+// machine's single-core speed the same way the simulator's does, so cell
+// times divided by it are comparable across machines.
+func calibrate() int64 {
+	var buf [64 << 10]byte
+	start := time.Now()
+	sum := sha256.Sum256(buf[:])
+	for i := 0; i < 256; i++ {
+		copy(buf[:], sum[:])
+		sum = sha256.Sum256(buf[:])
+	}
+	elapsed := time.Since(start)
+	if sum[0] == 0 && sum[1] == 0 && sum[2] == 0 {
+		// Consume the result so the loop cannot be optimized away.
+		fmt.Fprint(io.Discard, sum)
+	}
+	return elapsed.Nanoseconds()
+}

@@ -1,0 +1,122 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"thermometer/internal/perfsnap"
+)
+
+func writeSnap(t *testing.T, dir, name string, calib float64, samples []float64) string {
+	t.Helper()
+	s := &perfsnap.Snapshot{
+		Schema: perfsnap.SchemaVersion, Grid: "4x8", Scale: 16, Samples: len(samples),
+		CalibNs: calib,
+		Cells: []perfsnap.Cell{
+			{Policy: "lru", App: "kafka", Blocks: 1000, SamplesNs: samples, AllocsPerOp: 9},
+		},
+	}
+	s.Finalize()
+	path := filepath.Join(dir, name)
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Write(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestCompareRegressionFails pins the acceptance criterion: benchsnap
+// -compare exits non-zero (run returns an error) on a synthetic >10%
+// throughput regression.
+func TestCompareRegressionFails(t *testing.T) {
+	dir := t.TempDir()
+	base := writeSnap(t, dir, "BENCH_0.json", 100, []float64{1.00e6, 1.01e6, 0.99e6, 1.02e6, 0.98e6})
+	slow := writeSnap(t, dir, "new.json", 100, []float64{1.20e6, 1.21e6, 1.19e6, 1.22e6, 1.18e6})
+
+	var out, errBuf bytes.Buffer
+	err := run([]string{"-compare", base, "-with", slow}, &out, &errBuf)
+	if err == nil {
+		t.Fatalf("20%% regression passed the gate; report:\n%s", out.String())
+	}
+	if !strings.Contains(err.Error(), "regression") {
+		t.Fatalf("gate error: %v", err)
+	}
+	if !strings.Contains(out.String(), "REGRESSION") {
+		t.Fatalf("report does not flag the cell:\n%s", out.String())
+	}
+}
+
+func TestCompareCleanPasses(t *testing.T) {
+	dir := t.TempDir()
+	base := writeSnap(t, dir, "BENCH_0.json", 100, []float64{1.00e6, 1.01e6, 0.99e6, 1.02e6, 0.98e6})
+	// Same code on a machine twice as slow: calibration doubles with it.
+	same := writeSnap(t, dir, "new.json", 200, []float64{2.00e6, 2.02e6, 1.98e6, 2.04e6, 1.96e6})
+
+	var out, errBuf bytes.Buffer
+	if err := run([]string{"-compare", base, "-with", same}, &out, &errBuf); err != nil {
+		t.Fatalf("clean comparison failed: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "0 regression(s)") {
+		t.Fatalf("report:\n%s", out.String())
+	}
+}
+
+func TestBadFlagCombos(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if err := run([]string{"-with", "x.json"}, &out, &errBuf); err == nil {
+		t.Fatal("-with without -compare accepted")
+	}
+	if err := run([]string{"-compare", "/nonexistent/base.json", "-with", "/nonexistent/new.json"}, &out, &errBuf); err == nil {
+		t.Fatal("missing snapshot files accepted")
+	}
+	if err := run([]string{"-samples", "0"}, &out, &errBuf); err == nil {
+		t.Fatal("-samples 0 accepted")
+	}
+}
+
+// TestMeasureSmoke measures a tiny grid end to end and checks the snapshot
+// is well-formed. Scale 256 keeps each cell a few milliseconds.
+func TestMeasureSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("measures real sweeps")
+	}
+	old := gridApps
+	gridApps = []string{"kafka"}
+	defer func() { gridApps = old }()
+
+	dir := t.TempDir()
+	path := filepath.Join(dir, "snap.json")
+	var out, errBuf bytes.Buffer
+	if err := run([]string{"-o", path, "-samples", "2", "-warmup", "1", "-scale", "256"}, &out, &errBuf); err != nil {
+		t.Fatalf("measure: %v\n%s", err, errBuf.String())
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := perfsnap.Parse(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Cells) != len(gridPolicies) {
+		t.Fatalf("cells = %d, want %d", len(s.Cells), len(gridPolicies))
+	}
+	for _, c := range s.Cells {
+		if c.Blocks == 0 || c.NsPerOp <= 0 || c.Score <= 0 || len(c.SamplesNs) != 2 {
+			t.Fatalf("malformed cell: %+v", c)
+		}
+	}
+	// A self-comparison never regresses.
+	if err := run([]string{"-compare", path, "-with", path}, &out, &errBuf); err != nil {
+		t.Fatalf("self-comparison failed: %v", err)
+	}
+}

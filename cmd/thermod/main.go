@@ -2,11 +2,14 @@
 // from internal/server on top of a parallel runner engine with a
 // content-addressed result cache, alongside the telemetry debug surface.
 //
-//	POST /v1/jobs       submit a sweep (JSON array of specs)
-//	GET  /v1/jobs       list jobs
-//	GET  /v1/jobs/{id}  job status + results
-//	GET  /metrics       telemetry report (runner + serving metrics)
-//	GET  /debug/pprof/  runtime profiles
+//	POST /v1/jobs              submit a sweep (JSON array of specs)
+//	GET  /v1/jobs              list jobs
+//	GET  /v1/jobs/{id}         job status + results
+//	GET  /v1/jobs/{id}/events  live job progress (Server-Sent Events)
+//	GET  /metrics              telemetry report (runner + serving metrics)
+//	GET  /debug/sweep          live sweep dashboard (per-job progress grid)
+//	GET  /debug/spans          lifecycle spans as Chrome trace JSON
+//	GET  /debug/pprof/         runtime profiles
 //
 // SIGINT/SIGTERM starts a graceful drain: new submissions get 503, queued
 // and running sweeps are given -drain to finish, then pending jobs are
@@ -28,6 +31,7 @@ import (
 	"thermometer/internal/runner"
 	"thermometer/internal/server"
 	"thermometer/internal/telemetry"
+	"thermometer/internal/telemetry/span"
 )
 
 func main() {
@@ -39,35 +43,53 @@ func main() {
 		cacheSize = flag.Int("cachesize", 4096, "in-memory result-cache capacity")
 		cacheDir  = flag.String("cachedir", "", "on-disk result-cache directory (empty = memory only)")
 		drain     = flag.Duration("drain", 30*time.Second, "graceful-drain timeout on SIGINT/SIGTERM")
+		spancap   = flag.Int("spancap", 16384, "lifecycle span ring capacity (0 = tracing off)")
 	)
 	flag.Parse()
 
-	if err := run(*addr, *workers, *queue, *maxSpecs, *cacheSize, *cacheDir, *drain); err != nil {
+	if err := run(*addr, *workers, *queue, *maxSpecs, *cacheSize, *cacheDir, *drain, *spancap); err != nil {
 		fmt.Fprintln(os.Stderr, "thermod:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, workers, queue, maxSpecs, cacheSize int, cacheDir string, drain time.Duration) error {
+func run(addr string, workers, queue, maxSpecs, cacheSize int, cacheDir string, drain time.Duration, spancap int) error {
 	cache, err := runner.NewCache(cacheSize, cacheDir)
 	if err != nil {
 		return fmt.Errorf("result cache: %w", err)
 	}
 	obs := telemetry.New(telemetry.Options{})
+	// The span tracer is shared by the server (accept/queue/sweep spans) and
+	// the engine (per-job stage spans). A nil tracer is inert, so -spancap 0
+	// turns the whole surface off with no hot-path cost.
+	var spans *span.Tracer
+	if spancap > 0 {
+		spans = span.New(func() int64 { return time.Now().UnixNano() }, spancap)
+	}
 	engine := &runner.Engine{
 		Workers:  workers,
 		Cache:    cache,
 		Metrics:  obs.Metrics,
 		NowNanos: func() int64 { return time.Now().UnixNano() },
+		Spans:    spans,
 	}
+	engine.PublishMetrics()
 	srv := server.New(engine, server.Options{
 		QueueDepth: queue,
 		MaxSpecs:   maxSpecs,
 		Metrics:    obs.Metrics,
+		Spans:      spans,
 	})
 
 	// One mux serves the job API and the telemetry/debug surface.
-	handler := obs.Handler(telemetry.Mount{Pattern: "/v1/jobs", Handler: srv})
+	handler := obs.Handler(
+		telemetry.Mount{Pattern: "/v1/jobs", Handler: srv},
+		telemetry.Mount{Pattern: "/debug/sweep", Handler: srv.Dashboard()},
+		telemetry.Mount{Pattern: "/debug/spans", Handler: http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			_ = spans.WriteChromeTrace(w)
+		})},
+	)
 
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {

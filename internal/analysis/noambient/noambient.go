@@ -24,9 +24,14 @@ import (
 // finished); the runner layer underneath it stays in scope — its results
 // must remain a pure function of the spec for content-addressed caching,
 // so its latency metrics flow through an injected clock instead.
+//
+// The telemetry exemption is the package itself only, NOT its subtree:
+// internal/telemetry/span is a tracing primitive used inside the runner, so
+// it must honor the same contract — span timestamps come exclusively from
+// the injected NowNanos clock.
 var (
 	Scope  = regexp.MustCompile(`^thermometer/internal/`)
-	Exempt = regexp.MustCompile(`^thermometer/internal/(telemetry|xrand|analysis|detmap|server)(/|$)`)
+	Exempt = regexp.MustCompile(`^thermometer/internal/((xrand|analysis|detmap|server)(/|$)|telemetry$)`)
 )
 
 // bannedFuncs maps package path -> function names whose use is reported.

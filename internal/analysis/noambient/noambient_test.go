@@ -28,6 +28,11 @@ func TestScopeContract(t *testing.T) {
 		"thermometer/internal/core",
 		"thermometer/internal/policy",
 		"thermometer/internal/experiments",
+		// The span tracer records timestamps inside runner jobs; it must use
+		// its injected NowNanos clock only, so it stays under the contract
+		// even though its parent package is exempt.
+		"thermometer/internal/telemetry/span",
+		"thermometer/internal/perfsnap",
 	}
 	for _, pkg := range inScope {
 		if !Scope.MatchString(pkg) || Exempt.MatchString(pkg) {
@@ -48,5 +53,13 @@ func TestScopeContract(t *testing.T) {
 	// would be exempt, but "serverless" or "runnerx" style prefixes are not.
 	if Exempt.MatchString("thermometer/internal/serverless") {
 		t.Error("exemption must match the server path segment exactly")
+	}
+	// The telemetry exemption must not leak into its subtree, and must not
+	// match prefix lookalikes.
+	if Exempt.MatchString("thermometer/internal/telemetry/span") {
+		t.Error("telemetry exemption must not cover the span tracer subpackage")
+	}
+	if Exempt.MatchString("thermometer/internal/telemetryx") {
+		t.Error("exemption must match the telemetry path segment exactly")
 	}
 }

@@ -1,0 +1,134 @@
+package perfsnap
+
+import (
+	"fmt"
+	"io"
+)
+
+// Verdicts a compared cell can receive.
+const (
+	VerdictUnchanged    = "~"            // delta within noise or threshold
+	VerdictRegression   = "REGRESSION"   // significantly slower than threshold
+	VerdictImprovement  = "improvement"  // significantly faster than threshold
+	VerdictIncomparable = "incomparable" // block counts differ (grid changed)
+)
+
+// Row is one cell's comparison.
+type Row struct {
+	Policy string `json:"policy"`
+	App    string `json:"app"`
+	// OldScore and NewScore are the machine-normalized costs being
+	// compared; Ratio is New/Old (1.10 = 10% slower).
+	OldScore float64 `json:"old_score"`
+	NewScore float64 `json:"new_score"`
+	Ratio    float64 `json:"ratio"`
+	// Significant reports the Mann-Whitney/no-overlap test on the
+	// normalized sample sets.
+	Significant bool   `json:"significant"`
+	Verdict     string `json:"verdict"`
+}
+
+// Report is the outcome of comparing two snapshots.
+type Report struct {
+	// Threshold is the regression gate: a cell regresses when its ratio
+	// exceeds 1+Threshold AND the difference is statistically significant.
+	Threshold   float64  `json:"threshold"`
+	Rows        []Row    `json:"rows"`
+	Regressions int      `json:"regressions"`
+	OnlyOld     []string `json:"only_old,omitempty"` // cells missing from the new snapshot
+	OnlyNew     []string `json:"only_new,omitempty"` // cells with no baseline
+}
+
+// Failed reports whether the comparison should gate (any regression, or
+// baseline cells that vanished — a silently shrunk grid must not pass).
+func (r *Report) Failed() bool { return r.Regressions > 0 || len(r.OnlyOld) > 0 }
+
+// Compare diffs new against old cell by cell on machine-normalized scores.
+// threshold is the relative slowdown tolerated before a significant
+// difference counts as a regression (0.10 = 10%).
+func Compare(old, new *Snapshot, threshold float64) *Report {
+	rep := &Report{Threshold: threshold}
+	newBy := make(map[string]*Cell, len(new.Cells))
+	for i := range new.Cells {
+		c := &new.Cells[i]
+		newBy[c.Policy+"/"+c.App] = c
+	}
+	seen := make(map[string]bool, len(old.Cells))
+	for i := range old.Cells {
+		oc := &old.Cells[i]
+		key := oc.Policy + "/" + oc.App
+		seen[key] = true
+		nc, ok := newBy[key]
+		if !ok {
+			rep.OnlyOld = append(rep.OnlyOld, key)
+			continue
+		}
+		row := Row{Policy: oc.Policy, App: oc.App, OldScore: oc.Score, NewScore: nc.Score}
+		if oc.Score > 0 {
+			row.Ratio = nc.Score / oc.Score
+		}
+		switch {
+		case oc.Blocks != nc.Blocks:
+			row.Verdict = VerdictIncomparable
+		default:
+			row.Significant = significantlyDifferent(
+				normalized(oc.SamplesNs, old.CalibNs),
+				normalized(nc.SamplesNs, new.CalibNs))
+			switch {
+			case row.Significant && row.Ratio > 1+threshold:
+				row.Verdict = VerdictRegression
+				rep.Regressions++
+			case row.Significant && row.Ratio < 1/(1+threshold):
+				row.Verdict = VerdictImprovement
+			default:
+				row.Verdict = VerdictUnchanged
+			}
+		}
+		rep.Rows = append(rep.Rows, row)
+	}
+	// Cells are pre-sorted by Finalize, so iteration order is canonical.
+	for i := range new.Cells {
+		key := new.Cells[i].Policy + "/" + new.Cells[i].App
+		if !seen[key] {
+			rep.OnlyNew = append(rep.OnlyNew, key)
+		}
+	}
+	return rep
+}
+
+func normalized(samples []float64, calib float64) []float64 {
+	if calib <= 0 {
+		return samples
+	}
+	out := make([]float64, len(samples))
+	for i, s := range samples {
+		out[i] = s / calib
+	}
+	return out
+}
+
+// WriteText renders the benchstat-style comparison table.
+func (r *Report) WriteText(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "%-12s %-12s %12s %12s %8s  %s\n",
+		"policy", "app", "old score", "new score", "delta", "verdict"); err != nil {
+		return err
+	}
+	for _, row := range r.Rows {
+		delta := "~"
+		if row.Significant && row.Ratio > 0 {
+			delta = fmt.Sprintf("%+.1f%%", (row.Ratio-1)*100)
+		}
+		if _, err := fmt.Fprintf(w, "%-12s %-12s %12.4f %12.4f %8s  %s\n",
+			row.Policy, row.App, row.OldScore, row.NewScore, delta, row.Verdict); err != nil {
+			return err
+		}
+	}
+	for _, key := range r.OnlyOld {
+		fmt.Fprintf(w, "%-25s  MISSING from new snapshot\n", key)
+	}
+	for _, key := range r.OnlyNew {
+		fmt.Fprintf(w, "%-25s  new cell (no baseline)\n", key)
+	}
+	_, err := fmt.Fprintf(w, "%d regression(s) at >%.0f%% threshold\n", r.Regressions, r.Threshold*100)
+	return err
+}

@@ -1,0 +1,198 @@
+// Package perfsnap defines the repo's performance-trajectory snapshots: the
+// canonical BENCH_<n>.json schema produced by cmd/benchsnap and the
+// benchstat-style comparison that gates CI on throughput regressions.
+//
+// A snapshot records, for every cell of the 4-policy × 8-workload
+// acceptance grid, the per-iteration wall time samples, block throughput,
+// and allocation count of one simulation job. Because snapshots are
+// compared across machines (a developer laptop seeds the baseline, CI
+// runners check against it), every cell also carries a machine-normalized
+// score: its median ns divided by the snapshot's calibration time — the
+// wall time of a fixed CPU-bound reference loop measured on the same
+// machine in the same session. Ratios of scores cancel the machine's raw
+// speed, leaving the code's relative cost.
+//
+// The package itself never reads a clock — it is inside thermolint's
+// noambient scope. All measurement happens in cmd/benchsnap; this package
+// only defines the schema, the statistics, and the comparison verdicts.
+package perfsnap
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+)
+
+// SchemaVersion identifies the snapshot format; bump on incompatible
+// changes so stale baselines fail loudly instead of comparing garbage.
+const SchemaVersion = 1
+
+// Machine describes where a snapshot was measured. Informational only:
+// comparisons rely on the calibration score, not on matching hardware.
+type Machine struct {
+	GoOS       string `json:"goos"`
+	GoArch     string `json:"goarch"`
+	NumCPU     int    `json:"num_cpu"`
+	GoMaxProcs int    `json:"gomaxprocs"`
+	GoVersion  string `json:"go_version"`
+}
+
+// Cell is one grid point: one policy on one workload.
+type Cell struct {
+	Policy string `json:"policy"`
+	App    string `json:"app"`
+	// Blocks is the number of BTB block lookups one iteration performs — a
+	// pure function of the spec, so it must match across snapshots of the
+	// same grid; a mismatch marks the cell incomparable.
+	Blocks uint64 `json:"blocks"`
+	// SamplesNs are the raw per-iteration wall times. Medians, not means:
+	// one descheduling blip must not move the cell.
+	SamplesNs []float64 `json:"samples_ns"`
+	// NsPerOp is the median of SamplesNs.
+	NsPerOp float64 `json:"ns_per_op"`
+	// AllocsPerOp is the heap allocation count of one iteration.
+	AllocsPerOp uint64 `json:"allocs_per_op"`
+	// BlocksPerSec is Blocks / (NsPerOp in seconds).
+	BlocksPerSec float64 `json:"blocks_per_sec"`
+	// Score is the machine-normalized cost: NsPerOp / CalibNs.
+	Score float64 `json:"score"`
+}
+
+// Snapshot is one BENCH_<n>.json document.
+type Snapshot struct {
+	Schema  int     `json:"schema"`
+	Grid    string  `json:"grid"`
+	Scale   int     `json:"scale"`
+	Samples int     `json:"samples"`
+	Machine Machine `json:"machine"`
+	// CalibNs is the median wall time of the fixed calibration loop on the
+	// measuring machine; the denominator of every cell score.
+	CalibNs float64 `json:"calib_ns"`
+	Cells   []Cell  `json:"cells"`
+}
+
+// Median returns the median of xs (0 for an empty slice). xs is not
+// modified.
+func Median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if n := len(s); n%2 == 1 {
+		return s[n/2]
+	} else {
+		return (s[n/2-1] + s[n/2]) / 2
+	}
+}
+
+// Finalize derives every computed field (NsPerOp, BlocksPerSec, Score) from
+// the raw samples and calibration time, and sorts cells into canonical
+// (policy, app) order so snapshot files diff cleanly.
+func (s *Snapshot) Finalize() {
+	for i := range s.Cells {
+		c := &s.Cells[i]
+		c.NsPerOp = Median(c.SamplesNs)
+		if c.NsPerOp > 0 {
+			c.BlocksPerSec = float64(c.Blocks) / (c.NsPerOp / 1e9)
+		}
+		if s.CalibNs > 0 {
+			c.Score = c.NsPerOp / s.CalibNs
+		}
+	}
+	sort.Slice(s.Cells, func(i, j int) bool {
+		if s.Cells[i].Policy != s.Cells[j].Policy {
+			return s.Cells[i].Policy < s.Cells[j].Policy
+		}
+		return s.Cells[i].App < s.Cells[j].App
+	})
+}
+
+// Write encodes the snapshot as indented, canonically ordered JSON.
+func (s *Snapshot) Write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// Parse decodes and validates a snapshot document.
+func Parse(b []byte) (*Snapshot, error) {
+	var s Snapshot
+	if err := json.Unmarshal(b, &s); err != nil {
+		return nil, fmt.Errorf("malformed snapshot: %w", err)
+	}
+	if s.Schema != SchemaVersion {
+		return nil, fmt.Errorf("snapshot schema %d, want %d (regenerate the baseline)", s.Schema, SchemaVersion)
+	}
+	if s.CalibNs <= 0 {
+		return nil, fmt.Errorf("snapshot has no calibration time; scores are meaningless")
+	}
+	if len(s.Cells) == 0 {
+		return nil, fmt.Errorf("snapshot has no cells")
+	}
+	for i := range s.Cells {
+		if len(s.Cells[i].SamplesNs) == 0 {
+			return nil, fmt.Errorf("cell %s/%s has no samples", s.Cells[i].Policy, s.Cells[i].App)
+		}
+	}
+	// Re-derive the computed fields from the raw samples: the stored
+	// NsPerOp/Score values are advisory, and the comparison gate must not be
+	// foolable by a snapshot whose derived fields are stale or edited.
+	s.Finalize()
+	return &s, nil
+}
+
+// mannWhitneyCritical maps the common sample count n (= n1 = n2) to the
+// largest U still significant at two-sided α = 0.05. Below n = 4 no U is
+// small enough; above the table we fall back to the overlap test.
+var mannWhitneyCritical = map[int]float64{
+	4: 0, 5: 2, 6: 5, 7: 8, 8: 13, 9: 17, 10: 23,
+}
+
+// significantlyDifferent reports whether two sample sets differ beyond
+// noise: a Mann-Whitney U rank test at α = 0.05 when both sets have the
+// same in-table size, else the conservative no-overlap criterion (every
+// value of one set strictly beyond every value of the other).
+func significantlyDifferent(a, b []float64) bool {
+	if len(a) == 0 || len(b) == 0 {
+		return false
+	}
+	if crit, ok := mannWhitneyCritical[len(a)]; ok && len(a) == len(b) {
+		var u1 float64
+		for _, x := range a {
+			for _, y := range b {
+				switch {
+				case x < y:
+					u1++
+				case x == y:
+					u1 += 0.5
+				}
+			}
+		}
+		u2 := float64(len(a)*len(b)) - u1
+		return math.Min(u1, u2) <= crit
+	}
+	return maxOf(a) < minOf(b) || maxOf(b) < minOf(a)
+}
+
+func minOf(xs []float64) float64 {
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+func maxOf(xs []float64) float64 {
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}

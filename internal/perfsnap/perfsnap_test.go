@@ -1,0 +1,214 @@
+package perfsnap
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// snap builds a finalized one-cell-per-entry snapshot from (policy, app,
+// blocks, samples) rows.
+func snap(calib float64, cells ...Cell) *Snapshot {
+	s := &Snapshot{
+		Schema: SchemaVersion, Grid: "test", Scale: 16, Samples: 5,
+		CalibNs: calib, Cells: cells,
+	}
+	s.Finalize()
+	return s
+}
+
+func cell(policy, app string, blocks uint64, samples ...float64) Cell {
+	return Cell{Policy: policy, App: app, Blocks: blocks, SamplesNs: samples, AllocsPerOp: 7}
+}
+
+func TestMedian(t *testing.T) {
+	cases := []struct {
+		in   []float64
+		want float64
+	}{
+		{nil, 0},
+		{[]float64{3}, 3},
+		{[]float64{4, 1, 3, 2}, 2.5},
+		{[]float64{5, 1, 9}, 5},
+	}
+	for _, c := range cases {
+		if got := Median(c.in); got != c.want {
+			t.Errorf("Median(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestFinalizeDerivesAndSorts(t *testing.T) {
+	s := snap(100,
+		cell("srrip", "kafka", 1000, 2e6, 1e6, 3e6),
+		cell("lru", "mysql", 1000, 4e6, 4e6, 4e6),
+	)
+	if s.Cells[0].Policy != "lru" || s.Cells[1].Policy != "srrip" {
+		t.Fatalf("cells not in canonical order: %+v", s.Cells)
+	}
+	srrip := s.Cells[1]
+	if srrip.NsPerOp != 2e6 {
+		t.Fatalf("median ns = %v", srrip.NsPerOp)
+	}
+	if srrip.Score != 2e4 {
+		t.Fatalf("score = %v", srrip.Score)
+	}
+	if srrip.BlocksPerSec != 1000/(2e6/1e9) {
+		t.Fatalf("blocks/sec = %v", srrip.BlocksPerSec)
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	s := snap(100, cell("lru", "kafka", 1000, 1e6, 1.1e6, 0.9e6, 1e6, 1e6))
+	var buf bytes.Buffer
+	if err := s.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Parse(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Cells[0].Score != s.Cells[0].Score || back.CalibNs != s.CalibNs {
+		t.Fatalf("round trip mangled snapshot: %+v", back)
+	}
+
+	for _, bad := range []string{
+		`{`,
+		`{"schema":99,"calib_ns":1,"cells":[{}]}`,
+		`{"schema":1,"calib_ns":0,"cells":[{}]}`,
+		`{"schema":1,"calib_ns":1,"cells":[]}`,
+		`{"schema":1,"calib_ns":1,"cells":[{"policy":"lru","app":"kafka"}]}`, // no samples
+	} {
+		if _, err := Parse([]byte(bad)); err == nil {
+			t.Errorf("Parse(%q) accepted invalid snapshot", bad)
+		}
+	}
+}
+
+// TestParseRederivesFromSamples pins that the gate cannot be fooled by a
+// snapshot whose derived fields (ns_per_op, score) are stale: Parse
+// recomputes them from the raw samples.
+func TestParseRederivesFromSamples(t *testing.T) {
+	doc := `{"schema":1,"grid":"t","scale":16,"samples":5,"calib_ns":100,
+	  "cells":[{"policy":"lru","app":"kafka","blocks":1000,
+	    "samples_ns":[1300000,1310000,1290000,1320000,1280000],
+	    "ns_per_op":1000000,"score":10000,"blocks_per_sec":1}]}`
+	s, err := Parse([]byte(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Cells[0].NsPerOp != 1.3e6 || s.Cells[0].Score != 1.3e4 {
+		t.Fatalf("derived fields not recomputed from samples: %+v", s.Cells[0])
+	}
+	old := snap(100, cell("lru", "kafka", 1000, 1.00e6, 1.01e6, 0.99e6, 1.02e6, 0.98e6))
+	rep := Compare(old, s, 0.10)
+	if !rep.Failed() || rep.Rows[0].Verdict != VerdictRegression {
+		t.Fatalf("stale-score snapshot dodged the gate: %+v", rep.Rows)
+	}
+}
+
+// TestCompareSyntheticRegression pins the CI gate: a clean >10% slowdown
+// with non-overlapping samples must be flagged as a significant regression
+// and fail the report.
+func TestCompareSyntheticRegression(t *testing.T) {
+	old := snap(100, cell("lru", "kafka", 1000, 1.00e6, 1.01e6, 0.99e6, 1.02e6, 0.98e6))
+	slow := snap(100, cell("lru", "kafka", 1000, 1.20e6, 1.21e6, 1.19e6, 1.22e6, 1.18e6))
+	rep := Compare(old, slow, 0.10)
+	if !rep.Failed() || rep.Regressions != 1 {
+		t.Fatalf("20%% slowdown not gated: %+v", rep)
+	}
+	row := rep.Rows[0]
+	if row.Verdict != VerdictRegression || !row.Significant || row.Ratio < 1.15 {
+		t.Fatalf("row: %+v", row)
+	}
+	var buf bytes.Buffer
+	if err := rep.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "REGRESSION") || !strings.Contains(buf.String(), "1 regression(s)") {
+		t.Fatalf("report text:\n%s", buf.String())
+	}
+}
+
+func TestCompareWithinNoiseOrThreshold(t *testing.T) {
+	old := snap(100, cell("lru", "kafka", 1000, 1.00e6, 1.01e6, 0.99e6, 1.02e6, 0.98e6))
+
+	// 5% slower with clean separation: significant but under the 10% gate.
+	mild := snap(100, cell("lru", "kafka", 1000, 1.05e6, 1.06e6, 1.04e6, 1.07e6, 1.05e6))
+	if rep := Compare(old, mild, 0.10); rep.Failed() {
+		t.Fatalf("5%% delta gated: %+v", rep.Rows)
+	}
+
+	// 15% higher median but wildly overlapping samples: not significant.
+	noisy := snap(100, cell("lru", "kafka", 1000, 1.15e6, 0.70e6, 1.60e6, 0.90e6, 1.30e6))
+	rep := Compare(old, noisy, 0.10)
+	if rep.Failed() {
+		t.Fatalf("noisy overlap gated: %+v", rep.Rows)
+	}
+	if rep.Rows[0].Significant {
+		t.Fatalf("overlapping samples called significant: %+v", rep.Rows[0])
+	}
+}
+
+// TestCompareMachineNormalization pins the cross-machine story: a machine
+// that is uniformly 2x slower (double calibration time, double cell times)
+// produces identical scores and no regression.
+func TestCompareMachineNormalization(t *testing.T) {
+	fast := snap(100, cell("lru", "kafka", 1000, 1.00e6, 1.01e6, 0.99e6, 1.02e6, 0.98e6))
+	slowMachine := snap(200, cell("lru", "kafka", 1000, 2.00e6, 2.02e6, 1.98e6, 2.04e6, 1.96e6))
+	rep := Compare(fast, slowMachine, 0.10)
+	if rep.Failed() {
+		t.Fatalf("2x machine flagged as code regression: %+v", rep.Rows)
+	}
+	if r := rep.Rows[0].Ratio; r < 0.99 || r > 1.01 {
+		t.Fatalf("normalized ratio = %v, want ~1", r)
+	}
+}
+
+func TestCompareGridMismatch(t *testing.T) {
+	old := snap(100,
+		cell("lru", "kafka", 1000, 1e6, 1e6, 1e6, 1e6, 1e6),
+		cell("lru", "mysql", 1000, 1e6, 1e6, 1e6, 1e6, 1e6),
+	)
+	// mysql vanished, tomcat appeared, kafka's block count changed.
+	chopped := snap(100,
+		cell("lru", "kafka", 999, 1e6, 1e6, 1e6, 1e6, 1e6),
+		cell("lru", "tomcat", 1000, 1e6, 1e6, 1e6, 1e6, 1e6),
+	)
+	rep := Compare(old, chopped, 0.10)
+	if !rep.Failed() {
+		t.Fatal("vanished baseline cell did not gate")
+	}
+	if len(rep.OnlyOld) != 1 || rep.OnlyOld[0] != "lru/mysql" {
+		t.Fatalf("OnlyOld: %v", rep.OnlyOld)
+	}
+	if len(rep.OnlyNew) != 1 || rep.OnlyNew[0] != "lru/tomcat" {
+		t.Fatalf("OnlyNew: %v", rep.OnlyNew)
+	}
+	if rep.Rows[0].Verdict != VerdictIncomparable {
+		t.Fatalf("changed-blocks cell: %+v", rep.Rows[0])
+	}
+}
+
+func TestSignificance(t *testing.T) {
+	a := []float64{1, 2, 3, 4, 5}
+	if significantlyDifferent(a, a) {
+		t.Fatal("identical sets significant")
+	}
+	b := []float64{10, 11, 12, 13, 14}
+	if !significantlyDifferent(a, b) {
+		t.Fatal("disjoint sets not significant")
+	}
+	// Unequal sizes fall back to the no-overlap criterion.
+	if significantlyDifferent([]float64{1, 2, 3}, []float64{2.5, 3.5}) {
+		t.Fatal("overlapping unequal-size sets significant")
+	}
+	if !significantlyDifferent([]float64{1, 2, 3}, []float64{4, 5}) {
+		t.Fatal("disjoint unequal-size sets not significant")
+	}
+	// n=3 is below the U table: even disjoint equal-size triples use the
+	// overlap fallback and still read as different.
+	if !significantlyDifferent([]float64{1, 1, 1}, []float64{2, 2, 2}) {
+		t.Fatal("disjoint triples not significant")
+	}
+}

@@ -3,10 +3,12 @@ package runner
 import (
 	"context"
 	"fmt"
+	"strings"
 	"sync"
 	"sync/atomic"
 
 	"thermometer/internal/telemetry"
+	"thermometer/internal/telemetry/span"
 )
 
 // Engine executes sweeps: grids of Specs fanned out over a bounded worker
@@ -29,6 +31,14 @@ type Engine struct {
 	// package), so the serving layer injects its clock here and cached
 	// results stay interchangeable with fresh ones.
 	NowNanos func() int64
+	// Spans, when non-nil, receives lifecycle spans for every job: a root
+	// "job" span plus cache/trace_load/hint_load/simulate/aggregate stage
+	// children. Span identity derives from the job's spec key (see package
+	// span), so repeat sweeps trace identically; the tracer carries its own
+	// injected clock, keeping this package timestamp-free. Spans observe
+	// execution without influencing it — outcomes are byte-identical with
+	// the tracer attached or absent.
+	Spans *span.Tracer
 
 	mu         sync.Mutex
 	traces     map[string]*traceSlot
@@ -58,12 +68,54 @@ type Result struct {
 	Err string `json:"error,omitempty"`
 }
 
+// Progress states reported to a SweepProgress callback. A job emits exactly
+// two notifications: ProgressStarted when a worker picks it up, then one of
+// the terminal states mirroring its Result.
+const (
+	ProgressStarted  = "started"
+	ProgressDone     = "done"
+	ProgressFailed   = "failed"
+	ProgressInvalid  = "invalid"
+	ProgressCanceled = "canceled"
+)
+
+// Progress is one per-job lifecycle notification within a sweep. It carries
+// no timestamps — the runner stays timestamp-free — so observers (the
+// thermod server's SSE stream) attach their own clock on receipt.
+type Progress struct {
+	// Index is the job's position in the submitted spec slice.
+	Index int
+	// State is one of the Progress* constants.
+	State string
+	// Cached reports a result served from the content-addressed cache
+	// (terminal states only).
+	Cached bool
+	// Key is the spec's content address ("" for invalid specs).
+	Key string
+	// Err echoes Result.Err for failed/invalid/canceled jobs.
+	Err string
+	// Instructions and Accesses echo the outcome so observers can derive
+	// throughput (blocks/sec) against their own clock.
+	Instructions uint64
+	Accesses     uint64
+}
+
 // Sweep executes the specs and returns one Result per spec, in submission
 // order — the output is byte-identical at any Workers setting. A cancelled
 // context fails jobs that have not yet started (running simulations are
 // not interruptible); a panicking job becomes a failed Result without
 // affecting its neighbors.
 func (e *Engine) Sweep(ctx context.Context, specs []Spec) []Result {
+	return e.SweepProgress(ctx, specs, nil)
+}
+
+// SweepProgress is Sweep with a per-job progress callback: fn (when non-nil)
+// receives a ProgressStarted notification as each job is picked up and a
+// terminal notification as it completes. fn is called from worker
+// goroutines — it must be safe for concurrent use and fast (the worker
+// blocks until it returns). Progress observation does not affect results:
+// output remains byte-identical to a plain Sweep at any pool width.
+func (e *Engine) SweepProgress(ctx context.Context, specs []Spec, fn func(Progress)) []Result {
 	results := make([]Result, len(specs))
 	e.queued.Add(int64(len(specs)))
 	e.setGauges()
@@ -75,16 +127,69 @@ func (e *Engine) Sweep(ctx context.Context, specs []Spec) []Result {
 		e.queued.Add(-1)
 		e.inflight.Add(1)
 		e.setGauges()
+		if fn != nil {
+			fn(Progress{Index: i, State: ProgressStarted})
+		}
 		results[i] = e.runJob(ctx, specs[i])
+		if fn != nil {
+			fn(progressOf(i, results[i]))
+		}
 		e.inflight.Add(-1)
 		e.setGauges()
 	})
+	e.publishCacheStats()
 	return results
+}
+
+// progressOf derives the terminal progress notification from a completed
+// Result.
+func progressOf(i int, r Result) Progress {
+	p := Progress{Index: i, State: ProgressDone, Cached: r.Cached, Key: r.Key, Err: r.Err}
+	switch {
+	case r.Err == "":
+		if r.Outcome != nil {
+			p.Instructions = r.Outcome.Instructions
+			p.Accesses = r.Outcome.Accesses
+		}
+	case strings.HasPrefix(r.Err, "invalid spec"):
+		p.State = ProgressInvalid
+	case strings.HasPrefix(r.Err, "canceled"):
+		p.State = ProgressCanceled
+	default:
+		p.State = ProgressFailed
+	}
+	return p
 }
 
 // Run executes a single spec (a one-job sweep).
 func (e *Engine) Run(ctx context.Context, spec Spec) Result {
 	return e.Sweep(ctx, []Spec{spec})[0]
+}
+
+// spanScope carries the deterministic span identity of one job through its
+// execution stages. The zero scope (nil tracer) is inert, so the untraced
+// path costs one nil check per stage.
+type spanScope struct {
+	t     *span.Tracer
+	key   string  // the job's spec content address
+	trace span.ID // Derive(key)
+	root  span.ID // Derive(key, "job"), parent of every stage span
+}
+
+func newSpanScope(t *span.Tracer, key string) spanScope {
+	if t == nil {
+		return spanScope{}
+	}
+	return spanScope{t: t, key: key, trace: span.Derive(key), root: span.Derive(key, "job")}
+}
+
+// start opens a stage span under the job root; its ID derives from the spec
+// key and stage name, so repeat runs trace identically.
+func (sc spanScope) start(name string) span.Active {
+	if sc.t == nil {
+		return span.Active{}
+	}
+	return sc.t.Start(sc.trace, span.Derive(sc.key, name), sc.root, name)
 }
 
 func (e *Engine) runJob(ctx context.Context, spec Spec) Result {
@@ -94,18 +199,29 @@ func (e *Engine) runJob(ctx context.Context, spec Spec) Result {
 		return Result{Spec: spec, Err: "invalid spec: " + err.Error()}
 	}
 	res := Result{Spec: norm, Key: norm.Key()}
+	sc := newSpanScope(e.Spans, res.Key)
+	var job span.Active
+	if sc.t != nil {
+		job = sc.t.Start(sc.trace, sc.root, 0, "job")
+	}
 	if ctx != nil && ctx.Err() != nil {
 		e.count("runner_jobs_canceled")
 		res.Err = "canceled: " + ctx.Err().Error()
+		job.EndDetail("canceled")
 		return res
 	}
 	if e.Cache != nil {
-		if out, ok := e.Cache.Get(res.Key); ok {
+		lookup := sc.start("cache")
+		out, ok := e.Cache.Get(res.Key)
+		if ok {
+			lookup.EndDetail("hit")
 			e.count("runner_cache_hits")
 			res.Cached = true
 			res.Outcome = out
+			job.EndDetail("cached")
 			return res
 		}
+		lookup.EndDetail("miss")
 		e.count("runner_cache_misses")
 	}
 
@@ -113,7 +229,7 @@ func (e *Engine) runJob(ctx context.Context, spec Spec) Result {
 	if e.NowNanos != nil {
 		start = e.NowNanos()
 	}
-	out, err := e.executeSafe(norm)
+	out, err := e.executeSafe(norm, sc)
 	if e.NowNanos != nil && e.Metrics != nil {
 		if d := e.NowNanos() - start; d > 0 {
 			e.Metrics.Histogram("runner_job_latency_us").Observe(uint64(d) / 1000)
@@ -122,6 +238,7 @@ func (e *Engine) runJob(ctx context.Context, spec Spec) Result {
 	if err != nil {
 		e.count("runner_jobs_failed")
 		res.Err = err.Error()
+		job.EndDetail("failed")
 		return res
 	}
 	res.Outcome = out
@@ -129,13 +246,14 @@ func (e *Engine) runJob(ctx context.Context, spec Spec) Result {
 		e.Cache.Put(res.Key, out)
 	}
 	e.count("runner_jobs_done")
+	job.EndDetail("done")
 	return res
 }
 
 // executeSafe isolates a job panic: a panicking simulation (bad geometry,
 // internal invariant violation) fails that one job instead of unwinding
 // the whole sweep.
-func (e *Engine) executeSafe(spec Spec) (out *Outcome, err error) {
+func (e *Engine) executeSafe(spec Spec, sc spanScope) (out *Outcome, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			out, err = nil, fmt.Errorf("job panicked: %v", r)
@@ -144,7 +262,7 @@ func (e *Engine) executeSafe(spec Spec) (out *Outcome, err error) {
 	if e.execHook != nil {
 		return e.execHook(spec)
 	}
-	return e.execute(spec)
+	return e.execute(spec, sc)
 }
 
 func (e *Engine) count(name string) {
@@ -158,6 +276,43 @@ func (e *Engine) setGauges() {
 		m.Gauge("runner_queue_depth").Set(uint64(max64(e.queued.Load(), 0)))
 		m.Gauge("runner_jobs_inflight").Set(uint64(max64(e.inflight.Load(), 0)))
 	}
+}
+
+// publishCacheStats mirrors the result cache's internal traffic counters
+// into the metrics registry so they show up on /metrics alongside the
+// engine's own runner_cache_hits/misses (which count only engine-level
+// lookups, not disk promotions or evictions).
+func (e *Engine) publishCacheStats() {
+	if e.Metrics == nil || e.Cache == nil {
+		return
+	}
+	st := e.Cache.Stats()
+	e.Metrics.SetCounter("runner_cache_mem_hits", st.Hits)
+	e.Metrics.SetCounter("runner_cache_disk_hits", st.DiskHits)
+	e.Metrics.SetCounter("runner_cache_lookup_misses", st.Misses)
+	e.Metrics.SetCounter("runner_cache_evictions", st.Evictions)
+	e.Metrics.SetCounter("runner_cache_disk_errors", st.DiskErrors)
+	e.Metrics.Gauge("runner_cache_size").Set(uint64(e.Cache.Len()))
+}
+
+// PublishMetrics pre-registers the engine's metric surface (counters at
+// their current values, gauges at their current readings) so a freshly
+// booted daemon's /metrics endpoint lists the runner metrics before the
+// first sweep arrives, and publishes the current cache statistics.
+func (e *Engine) PublishMetrics() {
+	m := e.Metrics
+	if m == nil {
+		return
+	}
+	for _, name := range []string{
+		"runner_sweeps_total", "runner_jobs_total", "runner_jobs_done",
+		"runner_jobs_failed", "runner_jobs_invalid", "runner_jobs_canceled",
+		"runner_cache_hits", "runner_cache_misses",
+	} {
+		m.Counter(name)
+	}
+	e.setGauges()
+	e.publishCacheStats()
 }
 
 func max64(a, b int64) int64 {

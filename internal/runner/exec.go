@@ -109,20 +109,28 @@ func (e *Engine) hints(s Spec, tr *trace.Trace) (*profile.HintTable, error) {
 // execute runs one normalized spec to completion. It is a pure function of
 // the spec: no wall clock, no ambient randomness, no shared mutable state
 // beyond the single-flight trace/hint caches (whose contents are
-// themselves pure functions of the spec fields that key them).
-func (e *Engine) execute(s Spec) (*Outcome, error) {
+// themselves pure functions of the spec fields that key them). The span
+// scope, when live, times the stages — trace load, hint load, simulate,
+// aggregate — without touching the result.
+func (e *Engine) execute(s Spec, sc spanScope) (*Outcome, error) {
+	load := sc.start("trace_load")
 	tr := e.trace(s)
+	load.End()
 	var ht *profile.HintTable
 	if s.Hints {
+		hints := sc.start("hint_load")
 		var err error
 		if ht, err = e.hints(s, tr); err != nil {
+			hints.EndDetail("error")
 			return nil, fmt.Errorf("profiling hints: %w", err)
 		}
+		hints.End()
 	}
 
 	out := &Outcome{Trace: tr.Name}
 	switch s.Mode {
 	case ModeReplay:
+		sim := sc.start("simulate")
 		r := replay.Run(tr.AccessStream(), replay.Options{
 			Entries: s.BTBEntries,
 			Ways:    s.BTBWays,
@@ -130,6 +138,8 @@ func (e *Engine) execute(s Spec) (*Outcome, error) {
 			Policy:  policies[s.Policy](),
 			Hints:   ht,
 		})
+		sim.EndDetail("replay")
+		agg := sc.start("aggregate")
 		out.Instructions = tr.Instructions()
 		out.Accesses = r.Stats.Accesses
 		out.Hits = r.Stats.Hits
@@ -138,7 +148,9 @@ func (e *Engine) execute(s Spec) (*Outcome, error) {
 		if out.Instructions > 0 {
 			out.MPKI = float64(out.Misses) / float64(out.Instructions) * 1000
 		}
+		agg.End()
 	default: // ModeTiming
+		sim := sc.start("simulate")
 		cfg := core.DefaultConfig()
 		cfg.BTBEntries = s.BTBEntries
 		cfg.BTBWays = s.BTBWays
@@ -146,6 +158,8 @@ func (e *Engine) execute(s Spec) (*Outcome, error) {
 		cfg.NewPolicy = policies[s.Policy]
 		cfg.Hints = ht
 		r := core.Run(tr, cfg)
+		sim.EndDetail("timing")
+		agg := sc.start("aggregate")
 		out.Instructions = r.Instructions
 		out.Cycles = r.Cycles
 		out.IPC = r.IPC()
@@ -159,6 +173,7 @@ func (e *Engine) execute(s Spec) (*Outcome, error) {
 		out.RedirectStall = r.RedirectStall
 		out.ICacheStall = r.ICacheStall
 		out.DataStall = r.DataStall
+		agg.End()
 	}
 	return out, nil
 }

@@ -35,9 +35,10 @@ const maxBodyBytes = 8 << 20
 
 // Handler returns the daemon's job API:
 //
-//	POST /v1/jobs      submit a sweep    → 202 job envelope
-//	GET  /v1/jobs      list jobs         → 200 [summaries]
-//	GET  /v1/jobs/{id} status + results  → 200 job envelope
+//	POST /v1/jobs             submit a sweep    → 202 job envelope
+//	GET  /v1/jobs             list jobs         → 200 [summaries]
+//	GET  /v1/jobs/{id}        status + results  → 200 job envelope
+//	GET  /v1/jobs/{id}/events live progress     → 200 SSE stream
 //
 // Backpressure: 429 with Retry-After when the queue is full; 503 while
 // draining. Malformed submissions get 400 with a message naming the
@@ -47,6 +48,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	mux.HandleFunc("GET /v1/jobs", s.handleList)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGet)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
 	return mux
 }
 
@@ -57,6 +59,7 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	accepted := s.opts.Clock().UTC()
 	body, err := io.ReadAll(io.LimitReader(r.Body, maxBodyBytes+1))
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "reading body: "+err.Error())
@@ -74,6 +77,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	job, err := s.Submit(specs)
 	switch {
 	case err == nil:
+		s.recordSpan(job.ID, "http_accept", accepted, s.opts.Clock().UTC(), "")
 		w.Header().Set("Location", "/v1/jobs/"+job.ID)
 		writeJSON(w, http.StatusAccepted, job)
 	case errors.Is(err, ErrQueueFull):

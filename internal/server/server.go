@@ -19,6 +19,7 @@ import (
 
 	"thermometer/internal/runner"
 	"thermometer/internal/telemetry"
+	"thermometer/internal/telemetry/span"
 )
 
 // SweepRunner executes one sweep; *runner.Engine is the production
@@ -26,6 +27,15 @@ import (
 // order, and honor context cancellation between jobs.
 type SweepRunner interface {
 	Sweep(ctx context.Context, specs []runner.Spec) []runner.Result
+}
+
+// ProgressRunner is the optional streaming extension of SweepRunner:
+// runners that also implement it (runner.Engine does) feed the per-spec
+// lifecycle notifications behind the jobs SSE stream and the /debug/sweep
+// dashboard. Plain SweepRunners still work — their jobs just report only
+// job-level state transitions.
+type ProgressRunner interface {
+	SweepProgress(ctx context.Context, specs []runner.Spec, fn func(runner.Progress)) []runner.Result
 }
 
 // Job states.
@@ -73,6 +83,11 @@ type Options struct {
 	Clock func() time.Time
 	// Metrics, when non-nil, receives thermod_* serving metrics.
 	Metrics *telemetry.Registry
+	// Spans, when non-nil, receives serving-side lifecycle spans per job:
+	// http_accept (decode+validate+enqueue), queue_wait (submit→dispatch),
+	// and sweep (dispatch→finish) under a root job span, with IDs derived
+	// from the job ID so repeat submissions trace identically.
+	Spans *span.Tracer
 }
 
 // Sentinel submission failures; the HTTP layer maps them to status codes.
@@ -93,6 +108,15 @@ type Server struct {
 	draining bool
 	seq      int
 
+	// Per-job append-only event logs and their SSE watchers; progStart/
+	// progDone track the running job's per-spec wall times (the dispatcher
+	// runs one sweep at a time, so one set of slots suffices).
+	events     map[string][]JobEvent
+	watchers   map[string]map[int]chan struct{}
+	watcherSeq int
+	progStart  map[int]time.Time
+	progDone   int
+
 	runCtx    context.Context
 	runCancel context.CancelFunc
 	done      chan struct{}
@@ -111,11 +135,25 @@ func New(r SweepRunner, opts Options) *Server {
 		opts.Clock = time.Now
 	}
 	s := &Server{
-		runner: r,
-		opts:   opts,
-		jobs:   make(map[string]*Job),
-		queue:  make(chan *Job, opts.QueueDepth),
-		done:   make(chan struct{}),
+		runner:    r,
+		opts:      opts,
+		jobs:      make(map[string]*Job),
+		queue:     make(chan *Job, opts.QueueDepth),
+		done:      make(chan struct{}),
+		events:    make(map[string][]JobEvent),
+		watchers:  make(map[string]map[int]chan struct{}),
+		progStart: make(map[int]time.Time),
+	}
+	if m := opts.Metrics; m != nil {
+		// Pre-register the serving surface so a fresh daemon's /metrics
+		// lists every thermod_* metric before the first submission.
+		for _, name := range []string{
+			"thermod_jobs_submitted", "thermod_jobs_completed",
+			"thermod_jobs_rejected_queue_full", "thermod_jobs_rejected_draining",
+		} {
+			m.Counter(name)
+		}
+		m.Gauge("thermod_queue_depth").Set(0)
 	}
 	s.runCtx, s.runCancel = context.WithCancel(context.Background())
 	go s.dispatch()
@@ -163,13 +201,17 @@ func (s *Server) Submit(specs []runner.Spec) (*Job, error) {
 	}
 	s.jobs[job.ID] = job
 	s.order = append(s.order, job.ID)
+	s.appendEventLocked(job.ID, JobEvent{Time: job.SubmittedAt, Type: "state", State: StateQueued})
 	s.count("thermod_jobs_submitted")
 	s.setQueueGauge()
 	return job.clone(), nil
 }
 
 // dispatch runs queued sweeps strictly in submission order, one at a time;
-// within a sweep the engine fans jobs out across its worker pool.
+// within a sweep the engine fans jobs out across its worker pool. Each
+// transition lands in the job's event log (driving the SSE stream), and the
+// span tracer receives the queue_wait and sweep stages of the job's
+// lifecycle trace.
 func (s *Server) dispatch() {
 	defer close(s.done)
 	for job := range s.queue {
@@ -177,10 +219,22 @@ func (s *Server) dispatch() {
 		s.mu.Lock()
 		job.State = StateRunning
 		job.StartedAt = &now
+		s.progDone = 0
+		clear(s.progStart)
+		s.appendEventLocked(job.ID, JobEvent{Time: now, Type: "state", State: StateRunning})
 		s.setQueueGauge()
 		s.mu.Unlock()
+		s.recordSpan(job.ID, "queue_wait", job.SubmittedAt, now, "")
 
-		results := s.runner.Sweep(s.runCtx, job.Specs)
+		var results []runner.Result
+		total := len(job.Specs)
+		if pr, ok := s.runner.(ProgressRunner); ok {
+			results = pr.SweepProgress(s.runCtx, job.Specs, func(p runner.Progress) {
+				s.recordProgress(job.ID, total, p)
+			})
+		} else {
+			results = s.runner.Sweep(s.runCtx, job.Specs)
+		}
 
 		end := s.opts.Clock().UTC()
 		failed := 0
@@ -189,21 +243,48 @@ func (s *Server) dispatch() {
 				failed++
 			}
 		}
+		state := StateDone
+		if s.runCtx.Err() != nil {
+			state = StateCanceled
+		}
 		s.mu.Lock()
 		job.Results = results
 		job.Failed = failed
 		job.FinishedAt = &end
-		if s.runCtx.Err() != nil {
-			job.State = StateCanceled
-		} else {
-			job.State = StateDone
-		}
+		job.State = state
+		s.appendEventLocked(job.ID, JobEvent{Time: end, Type: "state", State: state})
 		s.mu.Unlock()
+		s.recordSpan(job.ID, "sweep", now, end, state)
+		s.recordSpan(job.ID, "job", job.SubmittedAt, end, state)
 		s.count("thermod_jobs_completed")
 		if m := s.opts.Metrics; m != nil {
 			m.Histogram("thermod_sweep_latency_ms").Observe(uint64(end.Sub(now).Milliseconds()))
 		}
 	}
+}
+
+// recordSpan emits one serving-side span with caller-computed endpoints.
+// The root "job" span carries an empty parent; every other stage hangs off
+// it. IDs derive from the job ID, so a repeat of the same submission
+// sequence traces identically under a deterministic clock.
+func (s *Server) recordSpan(jobID, name string, start, end time.Time, detail string) {
+	t := s.opts.Spans
+	if t == nil {
+		return
+	}
+	var parent span.ID
+	if name != "job" {
+		parent = span.Derive(jobID, "job")
+	}
+	t.Record(span.Span{
+		Trace:  span.Derive(jobID),
+		ID:     span.Derive(jobID, name),
+		Parent: parent,
+		Name:   name,
+		Detail: detail,
+		Start:  start.UnixNano(),
+		Dur:    end.Sub(start).Nanoseconds(),
+	})
 }
 
 // Job returns a job by ID.

@@ -138,10 +138,15 @@ func (t *Tracer) Events() []Event {
 // WriteChromeTrace emits the retained events in Chrome trace_event JSON
 // (load via chrome://tracing or https://ui.perfetto.dev). Events are
 // instant events on one thread per kind; one simulated cycle maps to one
-// nanosecond of trace time (ts is in microseconds).
+// nanosecond of trace time (ts is in microseconds). The top-level metadata
+// object reports ring truncation — dropped_events > 0 means the trace shows
+// only the tail of the run, not just in the btbsim CLI warning but in the
+// exported file itself.
 func (t *Tracer) WriteChromeTrace(w io.Writer) error {
 	bw := bufio.NewWriter(w)
-	if _, err := bw.WriteString(`{"displayTimeUnit":"ns","traceEvents":[`); err != nil {
+	if _, err := fmt.Fprintf(bw,
+		`{"displayTimeUnit":"ns","metadata":{"total_events":%d,"retained_events":%d,"dropped_events":%d},"traceEvents":[`,
+		t.Total(), len(t.buf), t.Dropped()); err != nil {
 		return err
 	}
 	// Thread-name metadata rows make the per-kind lanes readable.

@@ -1,0 +1,160 @@
+package span
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// fakeClock is a deterministic injected clock: each read advances 1000ns.
+func fakeClock() func() int64 {
+	var t int64
+	return func() int64 {
+		t += 1000
+		return t
+	}
+}
+
+func TestDeriveIsStableAndDistinct(t *testing.T) {
+	a := Derive("abc123", "simulate")
+	b := Derive("abc123", "simulate")
+	if a != b {
+		t.Fatalf("Derive not stable: %s vs %s", a, b)
+	}
+	if Derive("abc123", "simulate") == Derive("abc123", "trace_load") {
+		t.Fatal("distinct stages collided")
+	}
+	// NUL-joining means part boundaries matter: ("ab","c") != ("a","bc").
+	if Derive("ab", "c") == Derive("a", "bc") {
+		t.Fatal("part boundaries not separated")
+	}
+	if a == 0 {
+		t.Fatal("Derive returned the reserved zero ID")
+	}
+}
+
+func TestStartEndRecordsDurations(t *testing.T) {
+	tr := New(fakeClock(), 16)
+	root := tr.Start(Derive("k"), Derive("k", "job"), 0, "job")
+	child := tr.Start(Derive("k"), Derive("k", "simulate"), Derive("k", "job"), "simulate")
+	child.EndDetail("ok")
+	root.End()
+
+	spans := tr.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("got %d spans, want 2", len(spans))
+	}
+	// The child ended first, so it is recorded first.
+	if spans[0].Name != "simulate" || spans[1].Name != "job" {
+		t.Fatalf("order: %q, %q", spans[0].Name, spans[1].Name)
+	}
+	if spans[0].Parent != Derive("k", "job") || spans[1].Parent != 0 {
+		t.Fatalf("parents: %v, %v", spans[0].Parent, spans[1].Parent)
+	}
+	// fakeClock ticks 1000ns per read: root start=1000, child start=2000,
+	// child end=3000, root end=4000.
+	if spans[0].Dur != 1000 || spans[1].Dur != 3000 {
+		t.Fatalf("durations: %d, %d", spans[0].Dur, spans[1].Dur)
+	}
+	if spans[0].Detail != "ok" {
+		t.Fatalf("detail: %q", spans[0].Detail)
+	}
+}
+
+func TestRingTruncation(t *testing.T) {
+	tr := New(fakeClock(), 4)
+	for i := 0; i < 10; i++ {
+		tr.Record(Span{Name: "s", Start: int64(i)})
+	}
+	if tr.Total() != 10 || tr.Dropped() != 6 || tr.Cap() != 4 {
+		t.Fatalf("total/dropped/cap = %d/%d/%d", tr.Total(), tr.Dropped(), tr.Cap())
+	}
+	spans := tr.Spans()
+	if len(spans) != 4 || spans[0].Start != 6 || spans[3].Start != 9 {
+		t.Fatalf("retained: %+v", spans)
+	}
+}
+
+func TestNilTracerIsInert(t *testing.T) {
+	var tr *Tracer
+	a := tr.Start(1, 2, 3, "x")
+	a.End() // must not panic
+	tr.Record(Span{})
+	if tr.Cap() != 0 || tr.Total() != 0 || tr.Dropped() != 0 || tr.Spans() != nil {
+		t.Fatal("nil tracer not inert")
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"dropped_spans":0`) {
+		t.Fatalf("nil export: %s", buf.String())
+	}
+}
+
+func TestNewRequiresClock(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(nil, …) did not panic")
+		}
+	}()
+	New(nil, 8)
+}
+
+// TestChromeTraceDeterminism pins the repeat-run guarantee: two tracers fed
+// the same span sequence under the same injected clock export byte-identical
+// Chrome traces, and the export is valid JSON carrying the truncation
+// metadata.
+func TestChromeTraceDeterminism(t *testing.T) {
+	run := func() []byte {
+		tr := New(fakeClock(), 8)
+		for _, key := range []string{"spec-a", "spec-b"} {
+			job := tr.Start(Derive(key), Derive(key, "job"), 0, "job")
+			sim := tr.Start(Derive(key), Derive(key, "simulate"), Derive(key, "job"), "simulate")
+			sim.End()
+			job.EndDetail("done")
+		}
+		// Overflow the ring a little so dropped_spans is nonzero.
+		for i := 0; i < 6; i++ {
+			tr.Record(Span{Trace: Derive("spec-a"), ID: Derive("spec-a", "pad"), Name: "pad"})
+		}
+		var buf bytes.Buffer
+		if err := tr.WriteChromeTrace(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	first, second := run(), run()
+	if !bytes.Equal(first, second) {
+		t.Fatalf("repeat runs differ:\n%s\n%s", first, second)
+	}
+
+	var doc struct {
+		Metadata struct {
+			Total    uint64 `json:"total_spans"`
+			Retained int    `json:"retained_spans"`
+			Dropped  uint64 `json:"dropped_spans"`
+		} `json:"metadata"`
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(first, &doc); err != nil {
+		t.Fatalf("export is not valid JSON: %v\n%s", err, first)
+	}
+	if doc.Metadata.Total != 10 || doc.Metadata.Retained != 8 || doc.Metadata.Dropped != 2 {
+		t.Fatalf("metadata: %+v", doc.Metadata)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("no trace events")
+	}
+}
+
+func BenchmarkStartEnd(b *testing.B) {
+	tr := New(fakeClock(), 1024)
+	trace, id := Derive("bench"), Derive("bench", "stage")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Start(trace, id, 0, "stage").End()
+	}
+}

@@ -191,7 +191,8 @@ func TestChromeTraceIsValidJSON(t *testing.T) {
 		t.Fatal(err)
 	}
 	var doc struct {
-		DisplayTimeUnit string `json:"displayTimeUnit"`
+		DisplayTimeUnit string           `json:"displayTimeUnit"`
+		Metadata        map[string]int64 `json:"metadata"`
 		TraceEvents     []struct {
 			Name string                 `json:"name"`
 			Ph   string                 `json:"ph"`
@@ -223,6 +224,31 @@ func TestChromeTraceIsValidJSON(t *testing.T) {
 				t.Fatalf("redirect cause = %v", ev.Args["cause"])
 			}
 		}
+	}
+	if doc.Metadata["total_events"] != 4 || doc.Metadata["retained_events"] != 4 || doc.Metadata["dropped_events"] != 0 {
+		t.Fatalf("metadata = %v", doc.Metadata)
+	}
+}
+
+// TestChromeTraceDroppedMetadata pins that ring truncation is visible in the
+// exported file itself, not only as a CLI warning.
+func TestChromeTraceDroppedMetadata(t *testing.T) {
+	tr := NewTracer(4)
+	for i := 0; i < 10; i++ {
+		tr.Record(Event{Cycle: uint64(i) * 1000, Kind: EvInsert})
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Metadata map[string]int64 `json:"metadata"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("not valid JSON: %v\n%s", err, buf.String())
+	}
+	if doc.Metadata["total_events"] != 10 || doc.Metadata["retained_events"] != 4 || doc.Metadata["dropped_events"] != 6 {
+		t.Fatalf("metadata = %v", doc.Metadata)
 	}
 }
 
