@@ -70,6 +70,11 @@ func Compare(old, new *Snapshot, threshold float64) *Report {
 		switch {
 		case oc.Blocks != nc.Blocks:
 			row.Verdict = VerdictIncomparable
+		case oc.Score <= 0 || nc.Score <= 0:
+			// A degenerate (zero/negative) score leaves Ratio meaningless;
+			// without this guard a zero baseline would read as a huge
+			// "improvement" and mask a real slowdown.
+			row.Verdict = VerdictIncomparable
 		default:
 			row.Significant = significantlyDifferent(
 				normalized(oc.SamplesNs, old.CalibNs),

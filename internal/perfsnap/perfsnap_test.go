@@ -190,6 +190,24 @@ func TestCompareGridMismatch(t *testing.T) {
 	}
 }
 
+// TestCompareDegenerateBaseline pins that a zero-score baseline cell is
+// incomparable rather than an "improvement": with old score 0 the ratio is
+// meaningless, and a significant sample difference must not let a real
+// slowdown masquerade as a speedup.
+func TestCompareDegenerateBaseline(t *testing.T) {
+	degenerate := snap(100, cell("lru", "kafka", 1000, 0, 0, 0, 0, 0))
+	slow := snap(100, cell("lru", "kafka", 1000, 1.20e6, 1.21e6, 1.19e6, 1.22e6, 1.18e6))
+	rep := Compare(degenerate, slow, 0.10)
+	if v := rep.Rows[0].Verdict; v != VerdictIncomparable {
+		t.Fatalf("zero baseline verdict = %q, want %q", v, VerdictIncomparable)
+	}
+	// And symmetrically for a degenerate new cell.
+	rep = Compare(slow, degenerate, 0.10)
+	if v := rep.Rows[0].Verdict; v != VerdictIncomparable {
+		t.Fatalf("zero new-cell verdict = %q, want %q", v, VerdictIncomparable)
+	}
+}
+
 func TestSignificance(t *testing.T) {
 	a := []float64{1, 2, 3, 4, 5}
 	if significantlyDifferent(a, a) {

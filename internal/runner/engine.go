@@ -3,7 +3,6 @@ package runner
 import (
 	"context"
 	"fmt"
-	"strings"
 	"sync"
 	"sync/atomic"
 
@@ -66,6 +65,13 @@ type Result struct {
 	// Err describes why the job failed: an invalid spec, a cancelled
 	// sweep, or a panicking simulation (isolated to this job).
 	Err string `json:"error,omitempty"`
+
+	// state is the terminal Progress* classification, recorded by runJob at
+	// the point the outcome is decided so observers never have to re-parse
+	// Err wording. Unexported: it is progress plumbing, not part of the
+	// serialized result envelope ("" in hand-built Results means done when
+	// Err is empty, failed otherwise).
+	state string
 }
 
 // Progress states reported to a SweepProgress callback. A job emits exactly
@@ -144,19 +150,17 @@ func (e *Engine) SweepProgress(ctx context.Context, specs []Spec, fn func(Progre
 // progressOf derives the terminal progress notification from a completed
 // Result.
 func progressOf(i int, r Result) Progress {
-	p := Progress{Index: i, State: ProgressDone, Cached: r.Cached, Key: r.Key, Err: r.Err}
-	switch {
-	case r.Err == "":
-		if r.Outcome != nil {
-			p.Instructions = r.Outcome.Instructions
-			p.Accesses = r.Outcome.Accesses
+	p := Progress{Index: i, State: r.state, Cached: r.Cached, Key: r.Key, Err: r.Err}
+	if p.State == "" {
+		if r.Err == "" {
+			p.State = ProgressDone
+		} else {
+			p.State = ProgressFailed
 		}
-	case strings.HasPrefix(r.Err, "invalid spec"):
-		p.State = ProgressInvalid
-	case strings.HasPrefix(r.Err, "canceled"):
-		p.State = ProgressCanceled
-	default:
-		p.State = ProgressFailed
+	}
+	if p.State == ProgressDone && r.Outcome != nil {
+		p.Instructions = r.Outcome.Instructions
+		p.Accesses = r.Outcome.Accesses
 	}
 	return p
 }
@@ -196,7 +200,7 @@ func (e *Engine) runJob(ctx context.Context, spec Spec) Result {
 	norm, err := spec.Normalized()
 	if err != nil {
 		e.count("runner_jobs_invalid")
-		return Result{Spec: spec, Err: "invalid spec: " + err.Error()}
+		return Result{Spec: spec, Err: "invalid spec: " + err.Error(), state: ProgressInvalid}
 	}
 	res := Result{Spec: norm, Key: norm.Key()}
 	sc := newSpanScope(e.Spans, res.Key)
@@ -207,6 +211,7 @@ func (e *Engine) runJob(ctx context.Context, spec Spec) Result {
 	if ctx != nil && ctx.Err() != nil {
 		e.count("runner_jobs_canceled")
 		res.Err = "canceled: " + ctx.Err().Error()
+		res.state = ProgressCanceled
 		job.EndDetail("canceled")
 		return res
 	}
@@ -218,6 +223,7 @@ func (e *Engine) runJob(ctx context.Context, spec Spec) Result {
 			e.count("runner_cache_hits")
 			res.Cached = true
 			res.Outcome = out
+			res.state = ProgressDone
 			job.EndDetail("cached")
 			return res
 		}
@@ -238,10 +244,12 @@ func (e *Engine) runJob(ctx context.Context, spec Spec) Result {
 	if err != nil {
 		e.count("runner_jobs_failed")
 		res.Err = err.Error()
+		res.state = ProgressFailed
 		job.EndDetail("failed")
 		return res
 	}
 	res.Outcome = out
+	res.state = ProgressDone
 	if e.Cache != nil {
 		e.Cache.Put(res.Key, out)
 	}

@@ -3,6 +3,7 @@ package runner
 import (
 	"bytes"
 	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -196,5 +197,29 @@ func TestSweepProgressNotifications(t *testing.T) {
 	})
 	if canceled != 1 {
 		t.Fatalf("canceled notifications = %d, want 1", canceled)
+	}
+}
+
+// TestProgressStateIsExplicit pins that terminal classification comes from
+// the recorded job state, not from re-parsing Result.Err: a simulation
+// failure whose message happens to start with "canceled" or "invalid spec"
+// must still be reported as failed.
+func TestProgressStateIsExplicit(t *testing.T) {
+	e := &Engine{Workers: 1}
+	e.execHook = func(Spec) (*Outcome, error) {
+		return nil, errors.New("canceled upstream: invalid spec payload from backend")
+	}
+	var mu sync.Mutex
+	var terminal []Progress
+	e.SweepProgress(context.Background(), []Spec{{App: "kafka", Scale: 64, Mode: ModeReplay}},
+		func(p Progress) {
+			mu.Lock()
+			if p.State != ProgressStarted {
+				terminal = append(terminal, p)
+			}
+			mu.Unlock()
+		})
+	if len(terminal) != 1 || terminal[0].State != ProgressFailed {
+		t.Fatalf("misleading error text misclassified: %+v", terminal)
 	}
 }

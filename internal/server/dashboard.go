@@ -64,6 +64,20 @@ failed<span class="failed"></span> canceled<span class="canceled"></span></div>
 <script>
 let selected = null, source = null, cells = [];
 
+// All event/job fields render through textContent (never innerHTML):
+// p.error echoes submitter-controlled spec text, so interpolating it as
+// markup would be stored XSS for anyone viewing this page.
+function rowOf(texts, classes) {
+  const tr = document.createElement('tr');
+  texts.forEach((t, i) => {
+    const td = document.createElement('td');
+    td.textContent = t;
+    if (classes && classes[i]) td.className = classes[i];
+    tr.appendChild(td);
+  });
+  return tr;
+}
+
 async function refreshJobs() {
   const res = await fetch('/v1/jobs');
   if (!res.ok) return;
@@ -71,11 +85,9 @@ async function refreshJobs() {
   const tbody = document.querySelector('#jobs tbody');
   tbody.innerHTML = '';
   for (const j of jobs) {
-    const tr = document.createElement('tr');
+    const tr = rowOf([j.id, j.state, j.specs, j.failed || 0, j.submitted_at],
+      [null, j.state]);
     tr.className = 'job' + (j.id === selected ? ' sel' : '');
-    tr.innerHTML = '<td>' + j.id + '</td><td class="' + j.state + '">' + j.state +
-      '</td><td>' + j.specs + '</td><td>' + (j.failed || 0) + '</td><td>' +
-      j.submitted_at + '</td>';
     tr.onclick = () => select(j.id);
     tbody.appendChild(tr);
   }
@@ -132,9 +144,7 @@ function applyProgress(ev) {
 
 function logLine(time, text) {
   const tbody = document.querySelector('#log tbody');
-  const tr = document.createElement('tr');
-  tr.innerHTML = '<td>' + time + '</td><td>' + text + '</td>';
-  tbody.insertBefore(tr, tbody.firstChild);
+  tbody.insertBefore(rowOf([time, text]), tbody.firstChild);
   while (tbody.children.length > 50) tbody.removeChild(tbody.lastChild);
 }
 
