@@ -12,9 +12,11 @@
 //
 // Exit status: 0 clean, 1 findings, 2 usage or load error.
 //
-// Analyzers: detrange, noambient, observernil, policycontract, exhaustive.
+// Analyzers: boundedalloc, ctxflow, detrange, exhaustive, goexit,
+// lockdiscipline, noambient, observernil, orderedfloat, policycontract.
 // Suppress a finding with `//lint:allow <analyzer> <reason>` on the flagged
-// line or the line above; the reason is mandatory.
+// line or the line above; the analyzer name and the reason are mandatory,
+// and the suppression silences only that analyzer.
 package main
 
 import (
@@ -23,21 +25,32 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 
 	"thermometer/internal/analysis"
+	"thermometer/internal/analysis/boundedalloc"
+	"thermometer/internal/analysis/ctxflow"
 	"thermometer/internal/analysis/detrange"
 	"thermometer/internal/analysis/exhaustive"
+	"thermometer/internal/analysis/goexit"
+	"thermometer/internal/analysis/lockdiscipline"
 	"thermometer/internal/analysis/noambient"
 	"thermometer/internal/analysis/observernil"
+	"thermometer/internal/analysis/orderedfloat"
 	"thermometer/internal/analysis/policycontract"
 )
 
 var suite = []*analysis.Analyzer{
+	boundedalloc.Analyzer,
+	ctxflow.Analyzer,
 	detrange.Analyzer,
 	exhaustive.Analyzer,
+	goexit.Analyzer,
+	lockdiscipline.Analyzer,
 	noambient.Analyzer,
 	observernil.Analyzer,
+	orderedfloat.Analyzer,
 	policycontract.Analyzer,
 }
 
@@ -142,7 +155,28 @@ func report(diags []analysis.Diagnostic, asJSON bool, root string) {
 			diags[i].File = rel
 		}
 	}
+	// Re-sort after path relativization so the emitted order (text and
+	// -json alike) is stable regardless of where the tool was invoked from.
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
 	if asJSON {
+		if diags == nil {
+			diags = []analysis.Diagnostic{} // "findings": [], never null
+		}
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(struct {
@@ -189,8 +223,13 @@ func vettoolRun(cfgPath string) int {
 		return 0
 	}
 	// go vet drives the tool over the whole import graph, stdlib included;
-	// only packages of the enclosing module are in scope.
+	// only packages of the enclosing module are in scope. External test
+	// packages ("foo_test" variants) have no directory of their own and the
+	// loader skips test files anyway.
 	if cfg.ImportPath != modPath && !strings.HasPrefix(cfg.ImportPath, modPath+"/") {
+		return 0
+	}
+	if strings.HasSuffix(cfg.ImportPath, "_test") || strings.HasSuffix(cfg.ImportPath, ".test") {
 		return 0
 	}
 	loader := analysis.NewModuleLoader(root, modPath)

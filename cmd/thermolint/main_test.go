@@ -1,0 +1,179 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"thermometer/internal/analysis"
+)
+
+// captureStdout runs fn with os.Stdout redirected to a pipe and returns
+// everything it wrote.
+func captureStdout(t *testing.T, fn func()) []byte {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	defer func() { os.Stdout = old }()
+	done := make(chan []byte, 1)
+	go func() {
+		data, _ := io.ReadAll(r)
+		done <- data
+	}()
+	fn()
+	w.Close()
+	return <-done
+}
+
+// TestReportJSONSorted pins the -json contract: findings come out sorted by
+// (file, line, column, analyzer, message) after path relativization, so CI
+// diffs and problem-matcher annotations are stable run to run.
+func TestReportJSONSorted(t *testing.T) {
+	root := filepath.FromSlash("/work/mod")
+	abs := func(rel string) string { return filepath.Join(root, filepath.FromSlash(rel)) }
+	diags := []analysis.Diagnostic{
+		{File: abs("internal/b/b.go"), Line: 3, Column: 1, Analyzer: "goexit", Message: "leak"},
+		{File: abs("internal/a/a.go"), Line: 9, Column: 2, Analyzer: "ctxflow", Message: "ambient"},
+		{File: abs("internal/a/a.go"), Line: 4, Column: 7, Analyzer: "orderedfloat", Message: "racy sum"},
+		{File: abs("internal/a/a.go"), Line: 4, Column: 7, Analyzer: "boundedalloc", Message: "unclamped"},
+		{File: filepath.FromSlash("/elsewhere/x.go"), Line: 1, Column: 1, Analyzer: "detrange", Message: "outside module"},
+	}
+	out := captureStdout(t, func() { report(diags, true, root) })
+
+	var got struct {
+		Findings []analysis.Diagnostic `json:"findings"`
+	}
+	if err := json.Unmarshal(out, &got); err != nil {
+		t.Fatalf("report -json emitted invalid JSON: %v\n%s", err, out)
+	}
+	want := []analysis.Diagnostic{
+		{File: filepath.FromSlash("/elsewhere/x.go"), Line: 1, Column: 1, Analyzer: "detrange", Message: "outside module"},
+		{File: filepath.FromSlash("internal/a/a.go"), Line: 4, Column: 7, Analyzer: "boundedalloc", Message: "unclamped"},
+		{File: filepath.FromSlash("internal/a/a.go"), Line: 4, Column: 7, Analyzer: "orderedfloat", Message: "racy sum"},
+		{File: filepath.FromSlash("internal/a/a.go"), Line: 9, Column: 2, Analyzer: "ctxflow", Message: "ambient"},
+		{File: filepath.FromSlash("internal/b/b.go"), Line: 3, Column: 1, Analyzer: "goexit", Message: "leak"},
+	}
+	if len(got.Findings) != len(want) {
+		t.Fatalf("got %d findings, want %d:\n%s", len(got.Findings), len(want), out)
+	}
+	for i := range want {
+		if got.Findings[i] != want[i] {
+			t.Errorf("finding[%d] = %+v, want %+v", i, got.Findings[i], want[i])
+		}
+	}
+}
+
+// TestReportJSONEmpty pins the clean-run shape: "findings" is an empty
+// array, never null, so `jq '.findings[]'`-style consumers don't need a
+// null guard.
+func TestReportJSONEmpty(t *testing.T) {
+	out := captureStdout(t, func() { report(nil, true, "/work") })
+	if !strings.Contains(string(out), `"findings": []`) {
+		t.Fatalf("clean -json output lacks empty findings array:\n%s", out)
+	}
+}
+
+// TestSuiteComplete pins the analyzer roster: all ten checks must be wired
+// into the driver, each exactly once.
+func TestSuiteComplete(t *testing.T) {
+	want := []string{
+		"boundedalloc", "ctxflow", "detrange", "exhaustive", "goexit",
+		"lockdiscipline", "noambient", "observernil", "orderedfloat",
+		"policycontract",
+	}
+	seen := make(map[string]bool, len(suite))
+	for _, a := range suite {
+		if seen[a.Name] {
+			t.Errorf("analyzer %s registered twice", a.Name)
+		}
+		seen[a.Name] = true
+	}
+	for _, name := range want {
+		if !seen[name] {
+			t.Errorf("analyzer %s missing from the driver suite", name)
+		}
+	}
+	if len(suite) != len(want) {
+		t.Errorf("suite has %d analyzers, want %d", len(suite), len(want))
+	}
+}
+
+// TestEndToEndTempModule loads a throwaway module named "thermometer" (so
+// the Scope regexps of the new analyzers apply) and checks that findings
+// from several analyzers surface through the same Run/report path main()
+// uses, in sorted order.
+func TestEndToEndTempModule(t *testing.T) {
+	dir := t.TempDir()
+	write := func(rel, src string) {
+		t.Helper()
+		p := filepath.Join(dir, filepath.FromSlash(rel))
+		if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(p, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("go.mod", "module thermometer\n\ngo 1.22\n")
+	write("internal/runner/r.go", `package runner
+
+import "strconv"
+
+// Alloc trips boundedalloc: the size comes straight off the wire.
+func Alloc(s string) []byte {
+	n, _ := strconv.Atoi(s)
+	return make([]byte, n)
+}
+
+// Spin trips goexit: the goroutine has no termination path.
+func Spin(ch chan int) {
+	go func() {
+		for {
+			ch <- 1
+		}
+	}()
+}
+`)
+	loader := analysis.NewModuleLoader(dir, "thermometer")
+	pkgs, err := loader.LoadTree(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := analysis.Run(pkgs, suite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := captureStdout(t, func() { report(diags, true, dir) })
+	var got struct {
+		Findings []analysis.Diagnostic `json:"findings"`
+	}
+	if err := json.Unmarshal(out, &got); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, out)
+	}
+	byAnalyzer := make(map[string]int)
+	for i, f := range got.Findings {
+		byAnalyzer[f.Analyzer]++
+		if filepath.IsAbs(f.File) {
+			t.Errorf("finding %d has absolute path %s; want module-relative", i, f.File)
+		}
+		if i > 0 {
+			prev := got.Findings[i-1]
+			if prev.File > f.File || (prev.File == f.File && prev.Line > f.Line) {
+				t.Errorf("findings out of order: %v before %v", prev, f)
+			}
+		}
+	}
+	if byAnalyzer["boundedalloc"] == 0 {
+		t.Errorf("expected a boundedalloc finding, got %v\n%s", byAnalyzer, out)
+	}
+	if byAnalyzer["goexit"] == 0 {
+		t.Errorf("expected a goexit finding, got %v\n%s", byAnalyzer, out)
+	}
+}

@@ -58,6 +58,8 @@ type Pass struct {
 	Info     *types.Info
 
 	diags *[]Diagnostic
+	pkg   *Package   // owning package, for the shared call-graph cache
+	facts *FactStore // shared across the packages of one Run
 }
 
 // Reportf records a finding at pos.

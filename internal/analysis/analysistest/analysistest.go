@@ -8,6 +8,11 @@
 // for multiple diagnostics on one line). Every diagnostic must be wanted and
 // every want must be matched. //lint:allow suppressions are honored, so
 // testdata can also demonstrate the suppression format.
+//
+// Fixtures may span multiple files per package, and Run accepts multiple
+// package paths in one call; testdata packages can import each other (the
+// loader resolves imports against <testdata>/src), so cross-file and
+// cross-package analyzer behavior is testable in a single invocation.
 package analysistest
 
 import (

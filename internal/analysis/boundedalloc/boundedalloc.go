@@ -1,0 +1,324 @@
+// Package boundedalloc implements the thermolint analyzer that keeps
+// decoded sizes away from allocations and slice bounds until they are
+// clamped.
+//
+// Taint sources are integers decoded from wire or file input: strconv.Atoi/
+// ParseInt/ParseUint and the encoding/binary readers (ReadUvarint,
+// ReadVarint, the ByteOrder UintNN accessors). Taint propagates through
+// assignments, arithmetic, and conversions, and — via the per-package call
+// graph — into the parameters of functions that are handed a still-unclamped
+// value at any call site.
+//
+// A tainted value is clamped once the function compares it against a
+// non-zero bound (`if n > 1<<16 { ... }`, `len(xs) > n`); signed values
+// additionally need a sign guard (a comparison against 0), because
+// arithmetic like `n + 1` can overflow a MaxInt into a negative that then
+// defeats a pure upper bound. Sinks are make() sizes/capacities and slice
+// expression bounds: a panic or multi-gigabyte allocation reachable from a
+// corrupt header or a hostile Last-Event-ID is a denial of service, so the
+// clamp must dominate the allocation, not the happy path.
+package boundedalloc
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+
+	"thermometer/internal/analysis"
+)
+
+// Scope selects the import paths checked. Tests override it to target
+// testdata packages.
+var Scope = regexp.MustCompile(`^thermometer/internal/`)
+
+// Analyzer is the boundedalloc pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "boundedalloc",
+	Doc: "make sizes and slice bounds derived from decoded wire/file input " +
+		"must pass through a clamp (upper bound, plus a sign guard for " +
+		"signed values) before use",
+	Run: run,
+}
+
+// fnState is the per-function taint and guard context.
+type fnState struct {
+	decl    *ast.FuncDecl
+	tainted map[types.Object]bool
+	zeroCmp map[types.Object]bool // compared against 0 somewhere
+	bound   map[types.Object]bool // compared against a non-zero bound somewhere
+}
+
+func run(pass *analysis.Pass) error {
+	if !Scope.MatchString(pass.Pkg.Path()) {
+		return nil
+	}
+	states := make(map[*ast.FuncDecl]*fnState)
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			decl, ok := d.(*ast.FuncDecl)
+			if !ok || decl.Body == nil {
+				continue
+			}
+			st := &fnState{
+				decl:    decl,
+				tainted: make(map[types.Object]bool),
+				zeroCmp: make(map[types.Object]bool),
+				bound:   make(map[types.Object]bool),
+			}
+			collectGuards(pass, st)
+			propagate(pass, st)
+			states[decl] = st
+		}
+	}
+
+	// Cross-function rounds: hand taint to callee parameters wherever a call
+	// site passes a still-unclamped decoded value, until no round changes
+	// anything (bounded: each round must taint at least one new parameter).
+	g := pass.CallGraph()
+	for round := 0; round < len(states)+1; round++ {
+		changed := false
+		for _, st := range states {
+			node := g.Node(pass.FuncFor(st.decl))
+			if node == nil {
+				continue
+			}
+			for _, site := range node.Calls {
+				callee := site.Callee.Decl
+				cst := states[callee]
+				if cst == nil {
+					continue
+				}
+				params := paramObjs(pass, callee)
+				for i, arg := range site.Call.Args {
+					if i >= len(params) || params[i] == nil {
+						continue
+					}
+					if taintedExpr(pass, st, arg) && !cst.tainted[params[i]] {
+						cst.tainted[params[i]] = true
+						changed = true
+					}
+				}
+			}
+		}
+		if !changed {
+			break
+		}
+		for _, st := range states {
+			propagate(pass, st)
+		}
+	}
+
+	for _, st := range states {
+		reportSinks(pass, st)
+	}
+	return nil
+}
+
+// paramObjs flattens a declaration's parameter objects in signature order.
+func paramObjs(pass *analysis.Pass, decl *ast.FuncDecl) []types.Object {
+	var out []types.Object
+	for _, fld := range decl.Type.Params.List {
+		if len(fld.Names) == 0 {
+			out = append(out, nil) // unnamed: nothing can read it
+			continue
+		}
+		for _, name := range fld.Names {
+			out = append(out, pass.Info.Defs[name])
+		}
+	}
+	return out
+}
+
+// collectGuards records, flow-insensitively, which variables the function
+// compares against zero and which against a real bound. Direction is
+// ignored on purpose: both `if n > LIMIT { reject }` and `if n < limit {
+// use }` appear in this codebase, and distinguishing them would need path
+// sensitivity for little gain — the failure mode is a missed finding only
+// when a comparison exists but guards nothing, which review catches.
+func collectGuards(pass *analysis.Pass, st *fnState) {
+	ast.Inspect(st.decl.Body, func(n ast.Node) bool {
+		be, ok := n.(*ast.BinaryExpr)
+		if !ok {
+			return true
+		}
+		switch be.Op {
+		case token.LSS, token.LEQ, token.GTR, token.GEQ, token.EQL, token.NEQ:
+		default:
+			return true
+		}
+		note := func(side, other ast.Expr) {
+			id, ok := ast.Unparen(side).(*ast.Ident)
+			if !ok {
+				return
+			}
+			obj := pass.Info.Uses[id]
+			if obj == nil {
+				return
+			}
+			if isZeroLit(other) {
+				st.zeroCmp[obj] = true
+			} else {
+				st.bound[obj] = true
+			}
+		}
+		note(be.X, be.Y)
+		note(be.Y, be.X)
+		return true
+	})
+}
+
+func isZeroLit(e ast.Expr) bool {
+	lit, ok := ast.Unparen(e).(*ast.BasicLit)
+	return ok && lit.Kind == token.INT && lit.Value == "0"
+}
+
+// propagate runs local taint to fixpoint: sources and already-tainted
+// operands flow through assignments.
+func propagate(pass *analysis.Pass, st *fnState) {
+	for {
+		changed := false
+		mark := func(lhs ast.Expr, rhsTainted bool) {
+			if !rhsTainted {
+				return
+			}
+			id, ok := ast.Unparen(lhs).(*ast.Ident)
+			if !ok {
+				return
+			}
+			obj := pass.Info.Defs[id]
+			if obj == nil {
+				obj = pass.Info.Uses[id]
+			}
+			if obj != nil && !st.tainted[obj] {
+				st.tainted[obj] = true
+				changed = true
+			}
+		}
+		ast.Inspect(st.decl.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				if len(n.Rhs) == 1 && len(n.Lhs) > 1 {
+					// n, err := strconv.Atoi(x): the int is result 0.
+					if isSourceCall(pass, n.Rhs[0]) {
+						mark(n.Lhs[0], true)
+					}
+					return true
+				}
+				for i := range n.Lhs {
+					if i < len(n.Rhs) {
+						mark(n.Lhs[i], taintedExpr(pass, st, n.Rhs[i]))
+					}
+				}
+			case *ast.ValueSpec:
+				for i := range n.Names {
+					if i < len(n.Values) {
+						mark(n.Names[i], taintedExpr(pass, st, n.Values[i]))
+					}
+				}
+			}
+			return true
+		})
+		if !changed {
+			return
+		}
+	}
+}
+
+// taintedExpr reports whether e carries a decoded value that has not been
+// clamped: a source call, or any identifier that is tainted and unclamped.
+func taintedExpr(pass *analysis.Pass, st *fnState, e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.CallExpr:
+			if isSourceCall(pass, n) {
+				found = true
+				return false
+			}
+		case *ast.Ident:
+			obj := pass.Info.Uses[n]
+			if obj != nil && st.tainted[obj] && !clamped(st, obj) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// clamped: an upper-bound comparison exists, and the value cannot be
+// negative (unsigned, or sign-guarded against 0).
+func clamped(st *fnState, obj types.Object) bool {
+	if !st.bound[obj] {
+		return false
+	}
+	if st.zeroCmp[obj] {
+		return true
+	}
+	if basic, ok := obj.Type().Underlying().(*types.Basic); ok {
+		return basic.Info()&types.IsUnsigned != 0
+	}
+	return false
+}
+
+// isSourceCall recognizes the decoded-integer producers.
+func isSourceCall(pass *analysis.Pass, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	fn := analysis.CalleeOf(pass.Info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	switch fn.Pkg().Path() {
+	case "strconv":
+		switch fn.Name() {
+		case "Atoi", "ParseInt", "ParseUint":
+			return true
+		}
+	case "encoding/binary":
+		switch fn.Name() {
+		case "ReadUvarint", "ReadVarint", "Uint16", "Uint32", "Uint64":
+			return true
+		}
+	}
+	return false
+}
+
+// reportSinks flags make() sizes and slice bounds fed an unclamped decoded
+// value.
+func reportSinks(pass *analysis.Pass, st *fnState) {
+	ast.Inspect(st.decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			id, ok := ast.Unparen(n.Fun).(*ast.Ident)
+			if !ok || id.Name != "make" || pass.Info.Uses[id] != nil && pass.Info.Uses[id].Pkg() != nil {
+				return true
+			}
+			for _, arg := range n.Args[1:] {
+				if taintedExpr(pass, st, arg) {
+					pass.Reportf(arg.Pos(),
+						"make size %s derives from decoded input with no clamp before allocation; bound it (and sign-guard signed values) first",
+						types.ExprString(arg))
+				}
+			}
+		case *ast.SliceExpr:
+			for _, bound := range []ast.Expr{n.Low, n.High, n.Max} {
+				if bound != nil && taintedExpr(pass, st, bound) {
+					pass.Reportf(bound.Pos(),
+						"slice bound %s derives from decoded input with no clamp; a hostile value panics or over-allocates here",
+						types.ExprString(bound))
+				}
+			}
+		}
+		return true
+	})
+}

@@ -1,0 +1,25 @@
+package boundedalloc
+
+import (
+	"regexp"
+	"testing"
+
+	"thermometer/internal/analysis/analysistest"
+)
+
+func scoped(t *testing.T, re string) {
+	t.Helper()
+	old := Scope
+	Scope = regexp.MustCompile(re)
+	t.Cleanup(func() { Scope = old })
+}
+
+func TestBoundedAlloc(t *testing.T) {
+	scoped(t, `^batest$`)
+	analysistest.Run(t, "testdata", Analyzer, "batest")
+}
+
+func TestBoundedAllocClean(t *testing.T) {
+	scoped(t, `^baclean$`)
+	analysistest.Run(t, "testdata", Analyzer, "baclean")
+}

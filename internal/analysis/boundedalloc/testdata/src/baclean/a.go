@@ -1,0 +1,30 @@
+// Package baclean decodes with disciplined clamps everywhere: the analyzer
+// must stay silent here.
+package baclean
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+)
+
+const maxRecords = 1 << 16
+
+func decode(r *bytes.Reader) ([]uint64, error) {
+	count, err := binary.ReadUvarint(r)
+	if err != nil {
+		return nil, err
+	}
+	if count > maxRecords {
+		return nil, fmt.Errorf("unreasonable record count %d", count)
+	}
+	out := make([]uint64, 0, count)
+	for i := uint64(0); i < count; i++ {
+		v, err := binary.ReadUvarint(r)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

@@ -1,0 +1,79 @@
+// Package batest exercises the boundedalloc analyzer: decoded sizes
+// reaching allocations and slice bounds, locally and across calls.
+package batest
+
+import (
+	"bytes"
+	"encoding/binary"
+	"strconv"
+)
+
+func decodeUnclamped(r *bytes.Reader) []byte {
+	n, _ := binary.ReadUvarint(r)
+	return make([]byte, n) // want `make size n derives from decoded input`
+}
+
+func decodeClamped(r *bytes.Reader) []byte {
+	n, _ := binary.ReadUvarint(r)
+	if n > 1<<16 {
+		n = 1 << 16
+	}
+	return make([]byte, n)
+}
+
+// preallocIdiom is the trace/profile decoder shape: reject unreasonable
+// counts, cap the preallocation, then parse body records up to n.
+func preallocIdiom(r *bytes.Reader) []int {
+	n, _ := binary.ReadUvarint(r)
+	if n > 1<<30 {
+		return nil
+	}
+	prealloc := n
+	if prealloc > 1<<16 {
+		prealloc = 1 << 16
+	}
+	out := make([]int, 0, prealloc)
+	for i := uint64(0); i < n; i++ {
+		out = append(out, int(i))
+	}
+	return out
+}
+
+type eventLog struct{ events []int }
+
+// since receives its cursor from resume, which parses it out of a client
+// header: the taint crosses the call, and the upper-bound-only guard does
+// not save a negative (overflowed) value.
+func (l *eventLog) since(seq int) []int {
+	if seq < len(l.events) {
+		return l.events[seq:] // want `slice bound seq derives from decoded input`
+	}
+	return nil
+}
+
+func (l *eventLog) resume(header string) []int {
+	cursor := 0
+	if n, err := strconv.Atoi(header); err == nil && n >= 0 {
+		cursor = n + 1 // a MaxInt header overflows this into a negative
+	}
+	return l.since(cursor)
+}
+
+// sinceSafe adds the sign guard, so the same tainted parameter is clamped.
+func (l *eventLog) sinceSafe(seq int) []int {
+	if seq >= 0 && seq < len(l.events) {
+		return l.events[seq:]
+	}
+	return nil
+}
+
+func (l *eventLog) resumeSafe(header string) []int {
+	cursor := 0
+	if n, err := strconv.Atoi(header); err == nil && n >= 0 {
+		cursor = n + 1
+	}
+	return l.sinceSafe(cursor)
+}
+
+// untouched sizes stay silent.
+func fixedAlloc() []byte { return make([]byte, 64) }

@@ -1,0 +1,184 @@
+package analysis
+
+import (
+	"go/ast"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// writeTestdata lays out src/<path>/<name>.go files under a temp root and
+// returns a loader for them.
+func writeTestdata(t *testing.T, files map[string]string) *Loader {
+	t.Helper()
+	root := t.TempDir()
+	for rel, src := range files {
+		p := filepath.Join(root, "src", filepath.FromSlash(rel))
+		if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(p, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return NewTestdataLoader(filepath.Join(root, "src"))
+}
+
+func TestCallGraphDirectEdges(t *testing.T) {
+	loader := writeTestdata(t, map[string]string{
+		"cgtest/a.go": `package cgtest
+
+type S struct{ n int }
+
+func (s *S) locked() { s.n++ }
+
+func (s *S) Outer() { s.locked(); helper(s) }
+
+func helper(s *S) {
+	f := func() { s.locked() } // call inside a literal attributes to helper
+	f()
+}
+
+func orphan() {}
+`,
+	})
+	pkg, err := loader.Load("cgtest")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pass := &Pass{Analyzer: &Analyzer{Name: "test"}, Fset: pkg.Fset, Files: pkg.Files, Pkg: pkg.Types, Info: pkg.Info, pkg: pkg}
+	g := pass.CallGraph()
+	if g2 := pass.CallGraph(); g2 != g {
+		t.Error("CallGraph not cached on the package")
+	}
+
+	find := func(name string) *CallNode {
+		t.Helper()
+		for fn, n := range g.nodes {
+			if fn.Name() == name {
+				return n
+			}
+		}
+		t.Fatalf("no node for %s", name)
+		return nil
+	}
+	outer, locked, helper, orphan := find("Outer"), find("locked"), find("helper"), find("orphan")
+	if len(outer.Calls) != 2 {
+		t.Fatalf("Outer.Calls = %d, want 2", len(outer.Calls))
+	}
+	if outer.Calls[0].Callee != locked || outer.Calls[1].Callee != helper {
+		t.Errorf("Outer edges resolved to %v, %v", outer.Calls[0].Callee.Func, outer.Calls[1].Callee.Func)
+	}
+	// locked is called from Outer directly and from helper's literal.
+	if len(locked.CalledBy) != 2 {
+		t.Fatalf("locked.CalledBy = %d, want 2", len(locked.CalledBy))
+	}
+	callers := map[string]bool{}
+	for _, site := range locked.CalledBy {
+		callers[site.Caller.Func.Name()] = true
+	}
+	if !callers["Outer"] || !callers["helper"] {
+		t.Errorf("locked callers = %v, want Outer and helper", callers)
+	}
+	if len(orphan.CalledBy) != 0 || len(orphan.Calls) != 0 {
+		t.Errorf("orphan has edges: %v %v", orphan.Calls, orphan.CalledBy)
+	}
+}
+
+type testFact struct{ Tag string }
+
+func TestFactStoreAcrossPackages(t *testing.T) {
+	loader := writeTestdata(t, map[string]string{
+		"factdep/a.go": `package factdep
+
+func Exported() int { return 1 }
+`,
+		"factuse/a.go": `package factuse
+
+import "factdep"
+
+func Use() int { return factdep.Exported() }
+`,
+	})
+	dep, err := loader.Load("factdep")
+	if err != nil {
+		t.Fatal(err)
+	}
+	use, err := loader.Load("factuse")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	a := &Analyzer{Name: "facttest", Doc: "t", Run: func(pass *Pass) error {
+		// In the declaring package, export; in the importing package, find
+		// the call and import the fact about its callee.
+		if pass.Pkg.Path() == "factdep" {
+			obj := pass.Pkg.Scope().Lookup("Exported")
+			pass.ExportFact(obj, &testFact{Tag: "blocking"})
+			return nil
+		}
+		pass.Inspect(func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := CalleeOf(pass.Info, call)
+			if callee == nil {
+				return true
+			}
+			var f testFact
+			if !pass.ImportFact(callee, &f) || f.Tag != "blocking" {
+				t.Errorf("fact about %s not importable in %s", callee.Name(), pass.Pkg.Path())
+			}
+			return true
+		})
+		return nil
+	}}
+	if _, err := Run([]*Package{dep, use}, []*Analyzer{a}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCalleeOfMethodSelection(t *testing.T) {
+	loader := writeTestdata(t, map[string]string{
+		"cgsel/a.go": `package cgsel
+
+import "strings"
+
+type T struct{}
+
+func (T) M() {}
+
+func f(t T) {
+	t.M()
+	_ = strings.TrimSpace("x")
+}
+`,
+	})
+	pkg, err := loader.Load("cgsel")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok {
+				if fn := CalleeOf(pkg.Info, call); fn != nil {
+					got = append(got, fn.Name())
+				}
+			}
+			return true
+		})
+	}
+	want := map[string]bool{"M": false, "TrimSpace": false}
+	for _, name := range got {
+		if _, ok := want[name]; ok {
+			want[name] = true
+		}
+	}
+	for name, seen := range want {
+		if !seen {
+			t.Errorf("CalleeOf did not resolve %s (resolved: %v)", name, got)
+		}
+	}
+}

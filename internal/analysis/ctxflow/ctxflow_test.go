@@ -1,0 +1,26 @@
+package ctxflow
+
+import (
+	"regexp"
+	"testing"
+
+	"thermometer/internal/analysis/analysistest"
+)
+
+func scoped(t *testing.T, re string) {
+	t.Helper()
+	oldScope, oldLoop := Scope, LoopScope
+	Scope = regexp.MustCompile(re)
+	LoopScope = Scope
+	t.Cleanup(func() { Scope, LoopScope = oldScope, oldLoop })
+}
+
+func TestCtxFlow(t *testing.T) {
+	scoped(t, `^ctxtest$`)
+	analysistest.Run(t, "testdata", Analyzer, "ctxtest")
+}
+
+func TestCtxFlowClean(t *testing.T) {
+	scoped(t, `^ctxclean$`)
+	analysistest.Run(t, "testdata", Analyzer, "ctxclean")
+}

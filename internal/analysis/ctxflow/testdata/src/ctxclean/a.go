@@ -1,0 +1,28 @@
+// Package ctxclean threads its contexts correctly everywhere: the analyzer
+// must stay silent here.
+package ctxclean
+
+import "context"
+
+type Engine struct{}
+
+func (e *Engine) run(ctx context.Context, n int) error { return ctx.Err() }
+
+func (e *Engine) Sweep(ctx context.Context, jobs []int) error {
+	for range jobs {
+		if err := e.run(ctx, 1); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func Serve(ctx context.Context, requests chan int) {
+	for {
+		select {
+		case <-requests:
+		case <-ctx.Done():
+			return
+		}
+	}
+}

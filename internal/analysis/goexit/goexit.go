@@ -1,0 +1,265 @@
+// Package goexit implements the thermolint analyzer that demands a provable
+// termination path for every spawned goroutine.
+//
+// A `go` statement is accepted when the goroutine's body (a function
+// literal, or the declaration of an in-package function/method) terminates
+// structurally: straight-line code, bounded loops, `for range ch` (ends when
+// the channel closes), or an unbounded `for` loop that carries an exit —
+// a return, a break, or a select case receiving from ctx.Done() or a
+// shutdown-named channel. An unbounded loop with none of those runs until
+// process death: it leaks past every WaitGroup and keeps Shutdown from ever
+// returning.
+//
+// The analyzer also flags sends on provably-unbuffered channels performed
+// inside a goroutine outside any select: if the receiver is gone (client
+// disconnect, dispatcher exit), the send blocks forever and the goroutine
+// leaks. Nudge through a select with a cancellation case, or buffer the
+// channel and coalesce.
+package goexit
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+
+	"thermometer/internal/analysis"
+)
+
+// Scope selects the import paths checked. Tests override it to target
+// testdata packages.
+var Scope = regexp.MustCompile(`^thermometer/`)
+
+// shutdownChan matches channel identifiers conventionally used to stop a
+// loop.
+var shutdownChan = regexp.MustCompile(`(?i)(done|stop|quit|shutdown|clos)`)
+
+// Analyzer is the goexit pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "goexit",
+	Doc: "every go statement needs a provable termination path (bounded " +
+		"body, loop exit, or cancellation receive); unbuffered sends in " +
+		"goroutines outside select are dispatcher-blocking hazards",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	if !Scope.MatchString(pass.Pkg.Path()) {
+		return nil
+	}
+	unbuffered := collectUnbuffered(pass)
+	pass.Inspect(func(n ast.Node) bool {
+		gs, ok := n.(*ast.GoStmt)
+		if !ok {
+			return true
+		}
+		body := goroutineBody(pass, gs)
+		if body == nil {
+			return true // external or dynamic callee: nothing to prove
+		}
+		checkTermination(pass, gs, body)
+		checkSends(pass, body, unbuffered)
+		return true
+	})
+	return nil
+}
+
+// goroutineBody resolves the block a go statement runs: a literal's body,
+// or the body of an in-package function or method.
+func goroutineBody(pass *analysis.Pass, gs *ast.GoStmt) *ast.BlockStmt {
+	if lit, ok := gs.Call.Fun.(*ast.FuncLit); ok {
+		return lit.Body
+	}
+	callee := analysis.CalleeOf(pass.Info, gs.Call)
+	if callee == nil {
+		return nil
+	}
+	if node := pass.CallGraph().Node(callee); node != nil && node.Decl != nil {
+		return node.Decl.Body
+	}
+	return nil
+}
+
+// checkTermination reports unbounded loops in body with no exit path. Only
+// `for` with no condition is unbounded: `for cond {}` and `for range x {}`
+// end when their driver does (a ranged channel ends at close).
+func checkTermination(pass *analysis.Pass, gs *ast.GoStmt, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false // a nested literal is not this goroutine's loop
+		}
+		loop, ok := n.(*ast.ForStmt)
+		if !ok || loop.Cond != nil {
+			return true
+		}
+		if !hasExitPath(loop.Body) {
+			pass.Reportf(gs.Pos(),
+				"goroutine runs an infinite loop with no termination path (no return, break, or cancellation receive); it cannot be shut down")
+			return false
+		}
+		return true
+	})
+}
+
+// hasExitPath reports whether the loop body can leave the loop: a return, a
+// break, or a select case receiving from a cancellation channel. Nested
+// function literals do not count — their control flow is their own.
+func hasExitPath(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ReturnStmt:
+			found = true
+		case *ast.BranchStmt:
+			if n.Tok.String() == "break" || n.Tok.String() == "goto" {
+				found = true
+			}
+		case *ast.SelectStmt:
+			if hasCancelCase(n) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// hasCancelCase mirrors ctxflow's rule: a comm clause receiving from any
+// .Done() call or from a shutdown-named channel.
+func hasCancelCase(sel *ast.SelectStmt) bool {
+	for _, clause := range sel.Body.List {
+		comm, ok := clause.(*ast.CommClause)
+		if !ok || comm.Comm == nil {
+			continue
+		}
+		var recv ast.Expr
+		switch c := comm.Comm.(type) {
+		case *ast.ExprStmt:
+			recv = c.X
+		case *ast.AssignStmt:
+			if len(c.Rhs) == 1 {
+				recv = c.Rhs[0]
+			}
+		}
+		un, ok := ast.Unparen(recv).(*ast.UnaryExpr)
+		if !ok {
+			continue
+		}
+		switch e := ast.Unparen(un.X).(type) {
+		case *ast.CallExpr:
+			if sel, ok := e.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Done" {
+				return true
+			}
+		case *ast.Ident:
+			if shutdownChan.MatchString(e.Name) {
+				return true
+			}
+		case *ast.SelectorExpr:
+			if shutdownChan.MatchString(e.Sel.Name) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// checkSends flags sends on provably-unbuffered channels outside select.
+func checkSends(pass *analysis.Pass, body *ast.BlockStmt, unbuffered map[types.Object]bool) {
+	var inSelect func(n ast.Node, selDepth int)
+	inSelect = func(n ast.Node, selDepth int) {
+		ast.Inspect(n, func(m ast.Node) bool {
+			switch m := m.(type) {
+			case *ast.FuncLit:
+				return false
+			case *ast.SelectStmt:
+				for _, clause := range m.Body.List {
+					inSelect(clause, selDepth+1)
+				}
+				return false
+			case *ast.SendStmt:
+				if selDepth > 0 {
+					return true
+				}
+				if obj := chanObj(pass, m.Chan); obj != nil && unbuffered[obj] {
+					pass.Reportf(m.Arrow,
+						"unbuffered send on %s inside a goroutine, outside select: if the receiver is gone this blocks forever; buffer the channel or select with a cancellation case",
+						types.ExprString(m.Chan))
+				}
+			}
+			return true
+		})
+	}
+	inSelect(body, 0)
+}
+
+// collectUnbuffered maps channel-typed objects to whether their make site
+// has no capacity. An object never seen at a make site stays unknown (not
+// flagged).
+func collectUnbuffered(pass *analysis.Pass) map[types.Object]bool {
+	out := make(map[types.Object]bool)
+	record := func(lhs ast.Expr, rhs ast.Expr) {
+		call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		fn, ok := call.Fun.(*ast.Ident)
+		if !ok || fn.Name != "make" || len(call.Args) == 0 {
+			return
+		}
+		if t := pass.TypeOf(call.Args[0]); t == nil {
+			return
+		} else if _, isChan := t.Underlying().(*types.Chan); !isChan {
+			return
+		}
+		obj := chanObj(pass, lhs)
+		if obj == nil {
+			return
+		}
+		if len(call.Args) == 1 {
+			out[obj] = true
+		} else {
+			delete(out, obj) // buffered somewhere: give it the benefit of the doubt
+		}
+	}
+	pass.Inspect(func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Lhs) == len(n.Rhs) {
+				for i := range n.Lhs {
+					record(n.Lhs[i], n.Rhs[i])
+				}
+			}
+		case *ast.ValueSpec:
+			if len(n.Names) == len(n.Values) {
+				for i := range n.Names {
+					record(n.Names[i], n.Values[i])
+				}
+			}
+		case *ast.KeyValueExpr:
+			record(n.Key, n.Value)
+		}
+		return true
+	})
+	return out
+}
+
+// chanObj resolves a channel expression to the variable or field it names.
+func chanObj(pass *analysis.Pass, e ast.Expr) types.Object {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if obj := pass.Info.Uses[e]; obj != nil {
+			return obj
+		}
+		return pass.Info.Defs[e]
+	case *ast.SelectorExpr:
+		if sel, ok := pass.Info.Selections[e]; ok {
+			return sel.Obj()
+		}
+		return pass.Info.Uses[e.Sel]
+	}
+	return nil
+}

@@ -1,0 +1,25 @@
+package goexit
+
+import (
+	"regexp"
+	"testing"
+
+	"thermometer/internal/analysis/analysistest"
+)
+
+func scoped(t *testing.T, re string) {
+	t.Helper()
+	old := Scope
+	Scope = regexp.MustCompile(re)
+	t.Cleanup(func() { Scope = old })
+}
+
+func TestGoExit(t *testing.T) {
+	scoped(t, `^goexittest$`)
+	analysistest.Run(t, "testdata", Analyzer, "goexittest")
+}
+
+func TestGoExitClean(t *testing.T) {
+	scoped(t, `^goexitclean$`)
+	analysistest.Run(t, "testdata", Analyzer, "goexitclean")
+}

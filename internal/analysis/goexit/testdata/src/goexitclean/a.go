@@ -1,0 +1,36 @@
+// Package goexitclean spawns only well-behaved goroutines: the analyzer
+// must stay silent here.
+package goexitclean
+
+import (
+	"context"
+	"sync"
+)
+
+type pool struct {
+	jobs chan func()
+	done chan struct{}
+}
+
+func (p *pool) worker(ctx context.Context) {
+	for {
+		select {
+		case job := <-p.jobs:
+			job()
+		case <-ctx.Done():
+			return
+		}
+	}
+}
+
+func (p *pool) Start(ctx context.Context, workers int) *sync.WaitGroup {
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go func() {
+			defer wg.Done()
+			p.worker(ctx)
+		}()
+	}
+	return &wg
+}

@@ -1,0 +1,130 @@
+// Package goexittest exercises the goexit analyzer: goroutine termination
+// paths and unbuffered-send hazards.
+package goexittest
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+)
+
+func leaks(events chan int) {
+	go func() { // want `goroutine runs an infinite loop with no termination path`
+		for {
+			select {
+			case <-events:
+			}
+		}
+	}()
+}
+
+func leaksPlainLoop(n *atomic.Int64) {
+	go func() { // want `goroutine runs an infinite loop with no termination path`
+		for {
+			n.Add(1)
+		}
+	}()
+}
+
+func cancelable(ctx context.Context, events chan int) {
+	go func() {
+		for {
+			select {
+			case <-events:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+}
+
+func shutdownChannel(events chan int, stop chan struct{}) {
+	go func() {
+		for {
+			select {
+			case <-events:
+			case <-stop:
+				return
+			}
+		}
+	}()
+}
+
+// workerPool is the runner.ForEach shape: an unbounded loop whose cursor
+// check returns.
+func workerPool(n int, fn func(int)) {
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(2)
+	for w := 0; w < 2; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// drainUntilClosed terminates when the channel closes.
+func drainUntilClosed(events chan int) {
+	go func() {
+		for range events {
+		}
+	}()
+}
+
+type server struct {
+	queue chan int
+}
+
+func (s *server) dispatch() {
+	for v := range s.queue {
+		_ = v
+	}
+}
+
+// named goroutines resolve through the call graph.
+func (s *server) startOK() {
+	go s.dispatch()
+}
+
+func (s *server) spin() {
+	for {
+	}
+}
+
+func (s *server) startBad() {
+	go s.spin() // want `goroutine runs an infinite loop with no termination path`
+}
+
+// --- unbuffered sends ---
+
+func unbufferedSend(n int) {
+	results := make(chan int)
+	go func() {
+		results <- n * 2 // want `unbuffered send on results inside a goroutine, outside select`
+	}()
+}
+
+func bufferedSend(n int) {
+	results := make(chan int, 1)
+	go func() {
+		results <- n * 2
+	}()
+}
+
+func selectSend(n int, stop chan struct{}) {
+	results := make(chan int)
+	go func() {
+		select {
+		case results <- n * 2:
+		case <-stop:
+		}
+	}()
+}

@@ -21,6 +21,8 @@ type Package struct {
 	Files []*ast.File
 	Types *types.Package
 	Info  *types.Info
+
+	cg *CallGraph // lazily built by Pass.CallGraph, shared by the suite
 }
 
 // A Loader parses and type-checks packages from source. It resolves imports

@@ -1,0 +1,16 @@
+package lockdiscipline_test
+
+import (
+	"testing"
+
+	"thermometer/internal/analysis/analysistest"
+	"thermometer/internal/analysis/lockdiscipline"
+)
+
+func TestLockDiscipline(t *testing.T) {
+	analysistest.Run(t, "testdata", lockdiscipline.Analyzer, "lockdtest")
+}
+
+func TestLockDisciplineClean(t *testing.T) {
+	analysistest.Run(t, "testdata", lockdiscipline.Analyzer, "lockdclean")
+}

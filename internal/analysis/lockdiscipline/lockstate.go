@@ -1,0 +1,364 @@
+package lockdiscipline
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"thermometer/internal/analysis"
+)
+
+// lockState is the set of mutexes held at a program point, keyed by the
+// go/types rendering of the mutex expression ("s.mu", "c.inner.mu").
+type lockState map[string]bool
+
+func (s lockState) clone() lockState {
+	out := make(lockState, len(s))
+	for k := range s {
+		out[k] = true
+	}
+	return out
+}
+
+func intersect(states []lockState) lockState {
+	if len(states) == 0 {
+		return lockState{}
+	}
+	out := lockState{}
+	for k := range states[0] {
+		all := true
+		for _, s := range states[1:] {
+			if !s[k] {
+				all = false
+				break
+			}
+		}
+		if all {
+			out[k] = true
+		}
+	}
+	return out
+}
+
+// pendingAccess is a guarded-field access that no Lock dominated locally; it
+// is either satisfied by every caller holding the mutex (receiver-based
+// accesses in the xxxLocked idiom) or reported.
+type pendingAccess struct {
+	field      *types.Var
+	pos        token.Pos
+	mutexExpr  string // caller-side rendering, e.g. "s.mu"
+	mutexField string // the bare field name, e.g. "mu"
+	baseIsRecv bool
+	fn         *ast.FuncDecl
+}
+
+// walker performs the structural lock-state analysis of one package. It is
+// deliberately not a real CFG: statements are interpreted in source order,
+// branches fork the state and merge by intersection, loops analyze their
+// body once from the entry state, and terminating branches (return, break,
+// panic) drop out of the merge — enough to model the Lock/defer-Unlock and
+// early-return-Unlock idioms this codebase uses, while staying conservative
+// (false positives are possible, false negatives only through aliasing).
+type walker struct {
+	pass     *analysis.Pass
+	guarded  map[*types.Var]guardInfo
+	siteHeld map[*ast.CallExpr]lockState
+	pending  []pendingAccess
+
+	curDecl *ast.FuncDecl
+	curRecv types.Object
+	inLit   bool
+}
+
+func (w *walker) walkFunc(decl *ast.FuncDecl) {
+	w.curDecl = decl
+	w.curRecv = nil
+	w.inLit = false
+	if decl.Recv != nil && len(decl.Recv.List) > 0 && len(decl.Recv.List[0].Names) > 0 {
+		w.curRecv = w.pass.Info.Defs[decl.Recv.List[0].Names[0]]
+	}
+	w.walkBlock(decl.Body.List, lockState{})
+}
+
+// walkLit analyzes a function literal as its own context: it inherits no
+// lock ownership (it may run later, on another goroutine) and its accesses
+// cannot be justified by the enclosing method's callers.
+func (w *walker) walkLit(lit *ast.FuncLit) {
+	saved := w.inLit
+	w.inLit = true
+	w.walkBlock(lit.Body.List, lockState{})
+	w.inLit = saved
+}
+
+func (w *walker) walkBlock(stmts []ast.Stmt, held lockState) (lockState, bool) {
+	for _, s := range stmts {
+		var term bool
+		held, term = w.walkStmt(s, held)
+		if term {
+			return held, true
+		}
+	}
+	return held, false
+}
+
+func (w *walker) walkStmt(s ast.Stmt, held lockState) (lockState, bool) {
+	switch s := s.(type) {
+	case nil, *ast.EmptyStmt:
+		return held, false
+
+	case *ast.BlockStmt:
+		return w.walkBlock(s.List, held)
+
+	case *ast.LabeledStmt:
+		return w.walkStmt(s.Stmt, held)
+
+	case *ast.ExprStmt:
+		w.scanExpr(s.X, held)
+		if call, ok := ast.Unparen(s.X).(*ast.CallExpr); ok {
+			if mexpr, isLock, ok := lockEffect(call); ok {
+				if isLock {
+					held[mexpr] = true
+				} else {
+					delete(held, mexpr)
+				}
+			}
+		}
+		return held, isPanic(s.X)
+
+	case *ast.DeferStmt:
+		// A deferred Unlock releases at function exit: the lock stays held
+		// for the rest of this body. Any other deferred call runs with an
+		// unknown lock state, so its site records an empty set.
+		for _, arg := range s.Call.Args {
+			w.scanExpr(arg, held)
+		}
+		if lit, ok := s.Call.Fun.(*ast.FuncLit); ok {
+			w.walkLit(lit)
+		} else if _, _, isLockOp := lockEffect(s.Call); !isLockOp {
+			w.scanExpr(s.Call.Fun, held)
+		}
+		w.siteHeld[s.Call] = lockState{}
+		return held, false
+
+	case *ast.GoStmt:
+		// The spawned goroutine does not inherit the spawner's locks.
+		for _, arg := range s.Call.Args {
+			w.scanExpr(arg, held)
+		}
+		if lit, ok := s.Call.Fun.(*ast.FuncLit); ok {
+			w.walkLit(lit)
+		} else {
+			w.scanExpr(s.Call.Fun, held)
+		}
+		w.siteHeld[s.Call] = lockState{}
+		return held, false
+
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			w.scanExpr(e, held)
+		}
+		for _, e := range s.Lhs {
+			w.scanExpr(e, held)
+		}
+		return held, false
+
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						w.scanExpr(v, held)
+					}
+				}
+			}
+		}
+		return held, false
+
+	case *ast.SendStmt:
+		w.scanExpr(s.Chan, held)
+		w.scanExpr(s.Value, held)
+		return held, false
+
+	case *ast.IncDecStmt:
+		w.scanExpr(s.X, held)
+		return held, false
+
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			w.scanExpr(e, held)
+		}
+		return held, true
+
+	case *ast.BranchStmt:
+		return held, s.Tok != token.FALLTHROUGH
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			held, _ = w.walkStmt(s.Init, held)
+		}
+		w.scanExpr(s.Cond, held)
+		bodyHeld, bodyTerm := w.walkBlock(s.Body.List, held.clone())
+		var outcomes []lockState
+		if !bodyTerm {
+			outcomes = append(outcomes, bodyHeld)
+		}
+		if s.Else != nil {
+			elseHeld, elseTerm := w.walkStmt(s.Else, held.clone())
+			if !elseTerm {
+				outcomes = append(outcomes, elseHeld)
+			}
+		} else {
+			outcomes = append(outcomes, held)
+		}
+		if len(outcomes) == 0 {
+			return held, true // both branches left the scope
+		}
+		return intersect(outcomes), false
+
+	case *ast.ForStmt:
+		if s.Init != nil {
+			held, _ = w.walkStmt(s.Init, held)
+		}
+		if s.Cond != nil {
+			w.scanExpr(s.Cond, held)
+		}
+		body := held.clone()
+		body, _ = w.walkBlock(s.Body.List, body)
+		if s.Post != nil {
+			w.walkStmt(s.Post, body)
+		}
+		return held, false
+
+	case *ast.RangeStmt:
+		w.scanExpr(s.X, held)
+		w.walkBlock(s.Body.List, held.clone())
+		return held, false
+
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			held, _ = w.walkStmt(s.Init, held)
+		}
+		if s.Tag != nil {
+			w.scanExpr(s.Tag, held)
+		}
+		w.walkCases(s.Body, held)
+		return held, false
+
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			held, _ = w.walkStmt(s.Init, held)
+		}
+		w.walkCases(s.Body, held)
+		return held, false
+
+	case *ast.SelectStmt:
+		for _, clause := range s.Body.List {
+			comm, ok := clause.(*ast.CommClause)
+			if !ok {
+				continue
+			}
+			branch := held.clone()
+			if comm.Comm != nil {
+				branch, _ = w.walkStmt(comm.Comm, branch)
+			}
+			w.walkBlock(comm.Body, branch)
+		}
+		return held, false
+	}
+	return held, false
+}
+
+func (w *walker) walkCases(body *ast.BlockStmt, held lockState) {
+	for _, clause := range body.List {
+		cc, ok := clause.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		branch := held.clone()
+		for _, e := range cc.List {
+			w.scanExpr(e, branch)
+		}
+		w.walkBlock(cc.Body, branch)
+	}
+}
+
+// scanExpr records guarded-field accesses and in-package call sites inside
+// one expression, without descending into function literals (walked as
+// their own contexts).
+func (w *walker) scanExpr(e ast.Expr, held lockState) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			w.walkLit(n)
+			return false
+		case *ast.CallExpr:
+			w.siteHeld[n] = held.clone()
+			return true
+		case *ast.SelectorExpr:
+			w.checkAccess(n, held)
+			return true
+		}
+		return true
+	})
+}
+
+// checkAccess tests one selector against the guard table.
+func (w *walker) checkAccess(sel *ast.SelectorExpr, held lockState) {
+	selection, ok := w.pass.Info.Selections[sel]
+	if !ok || selection.Kind() != types.FieldVal {
+		return
+	}
+	field, ok := selection.Obj().(*types.Var)
+	if !ok {
+		return
+	}
+	info, ok := w.guarded[field]
+	if !ok {
+		return
+	}
+	base := ast.Unparen(sel.X)
+	mexpr := types.ExprString(base) + "." + info.mutex
+	if held[mexpr] {
+		return
+	}
+	baseIsRecv := false
+	if id, ok := base.(*ast.Ident); ok && !w.inLit && w.curRecv != nil {
+		baseIsRecv = w.pass.Info.Uses[id] == w.curRecv
+	}
+	w.pending = append(w.pending, pendingAccess{
+		field:      field,
+		pos:        sel.Pos(),
+		mutexExpr:  mexpr,
+		mutexField: info.mutex,
+		baseIsRecv: baseIsRecv,
+		fn:         w.curDecl,
+	})
+}
+
+// lockEffect recognizes mutex Lock/Unlock calls, returning the rendered
+// mutex expression and whether the call acquires.
+func lockEffect(call *ast.CallExpr) (mexpr string, isLock, ok bool) {
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", false, false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock":
+		return types.ExprString(ast.Unparen(sel.X)), true, true
+	case "Unlock", "RUnlock":
+		return types.ExprString(ast.Unparen(sel.X)), false, true
+	}
+	return "", false, false
+}
+
+func isPanic(e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := call.Fun.(*ast.Ident)
+	return ok && id.Name == "panic"
+}

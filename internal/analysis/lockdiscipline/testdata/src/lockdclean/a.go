@@ -1,0 +1,44 @@
+// Package lockdclean is a fixture with correct lock discipline throughout:
+// the analyzer must stay silent here.
+package lockdclean
+
+import "sync"
+
+type Registry struct {
+	mu    sync.RWMutex
+	items map[string]int // guarded by mu
+	seq   int            // guarded by mu
+}
+
+func New() *Registry {
+	return &Registry{items: make(map[string]int)}
+}
+
+func (r *Registry) Add(key string) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.seq++
+	r.items[key] = r.seq
+	return r.addedLocked()
+}
+
+// addedLocked is only reached from Add, which holds r.mu.
+func (r *Registry) addedLocked() int { return len(r.items) }
+
+func (r *Registry) Get(key string) (int, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	v, ok := r.items[key]
+	return v, ok
+}
+
+func (r *Registry) Drop(key string) bool {
+	r.mu.Lock()
+	if _, ok := r.items[key]; !ok {
+		r.mu.Unlock()
+		return false
+	}
+	delete(r.items, key)
+	r.mu.Unlock()
+	return true
+}

@@ -11,3 +11,13 @@ func TestObservernil(t *testing.T) {
 	GuardedTypes = []string{"obsniltest.Observer", "obsniltest.Recorder"}
 	analysistest.Run(t, "testdata", Analyzer, "obsniltest")
 }
+
+// TestObservernilCrossFile runs one analysistest invocation over a
+// multi-file package (obsnilx: guarded type in types.go, call sites in
+// use.go) plus a second package importing it (obsnilimp), pinning both the
+// analyzer's and the harness's cross-file/cross-package behavior.
+func TestObservernilCrossFile(t *testing.T) {
+	defer func(old []string) { GuardedTypes = old }(GuardedTypes)
+	GuardedTypes = []string{"obsnilx.Gauge"}
+	analysistest.Run(t, "testdata", Analyzer, "obsnilx", "obsnilimp")
+}

@@ -1,0 +1,25 @@
+// Package obsnilimp is a multi-package fixture: the guarded type is
+// declared in the imported obsnilx package, so the analyzer must resolve
+// the contract across the import boundary.
+package obsnilimp
+
+import "obsnilx"
+
+// Board embeds a possibly-nil gauge from the other package.
+type Board struct{ G *obsnilx.Gauge }
+
+func bad(b Board) {
+	b.G.Bump() // want `call to \(\*obsnilx.Gauge\).Bump on possibly-nil b.G is not dominated by a nil check`
+}
+
+func good(b Board) int {
+	if b.G == nil {
+		return 0
+	}
+	b.G.Bump()
+	return b.G.Value()
+}
+
+func goodParam(g *obsnilx.Gauge) {
+	g.Bump() // parameters carry the non-nil boundary contract
+}

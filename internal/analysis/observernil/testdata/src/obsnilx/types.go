@@ -1,0 +1,18 @@
+// Package obsnilx is a multi-file fixture: the guarded type and its holder
+// live in this file, the call sites under test in use.go. The analyzer must
+// connect them across the file boundary.
+package obsnilx
+
+// Gauge is the guarded type (tests point GuardedTypes at it).
+type Gauge struct{ v int }
+
+// NewGauge returns a ready gauge.
+func NewGauge() *Gauge { return &Gauge{} }
+
+// Bump and Value are probe methods.
+func (g *Gauge) Bump()      { g.v++ }
+func (g *Gauge) Value() int { return g.v }
+
+// Panel carries a possibly-nil gauge, like core.Config carries its
+// observer.
+type Panel struct{ G *Gauge }

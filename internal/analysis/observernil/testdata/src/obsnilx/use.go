@@ -1,0 +1,23 @@
+package obsnilx
+
+// The types referenced here are declared in types.go: every diagnostic in
+// this file is a cross-file regression for the analyzer and the test
+// harness alike.
+
+func bad(p Panel) {
+	p.G.Bump() // want `call to \(\*obsnilx.Gauge\).Bump on possibly-nil p.G is not dominated by a nil check`
+}
+
+func good(p Panel) int {
+	if p.G == nil {
+		return 0
+	}
+	p.G.Bump()
+	return p.G.Value()
+}
+
+func goodConstructed() int {
+	g := NewGauge()
+	g.Bump()
+	return g.Value()
+}

@@ -1,0 +1,25 @@
+package orderedfloat
+
+import (
+	"regexp"
+	"testing"
+
+	"thermometer/internal/analysis/analysistest"
+)
+
+func scoped(t *testing.T, re string) {
+	t.Helper()
+	old := Scope
+	Scope = regexp.MustCompile(re)
+	t.Cleanup(func() { Scope = old })
+}
+
+func TestOrderedFloat(t *testing.T) {
+	scoped(t, `^oftest$`)
+	analysistest.Run(t, "testdata", Analyzer, "oftest")
+}
+
+func TestOrderedFloatClean(t *testing.T) {
+	scoped(t, `^ofclean$`)
+	analysistest.Run(t, "testdata", Analyzer, "ofclean")
+}

@@ -1,0 +1,38 @@
+// Package ofclean reduces floats only in deterministic orders: the
+// analyzer must stay silent here.
+package ofclean
+
+import "sort"
+
+func forEach(n int, fn func(i int)) {
+	for i := 0; i < n; i++ {
+		fn(i)
+	}
+}
+
+// Sweep is the blessed shape: parallel slot writes, serial reduction.
+func Sweep(inputs []float64) float64 {
+	results := make([]float64, len(inputs))
+	forEach(len(inputs), func(i int) {
+		results[i] = inputs[i] * inputs[i]
+	})
+	var sum float64
+	for _, r := range results {
+		sum += r
+	}
+	return sum
+}
+
+// SumByKey reduces a map in sorted-key order.
+func SumByKey(m map[string]float64) float64 {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var sum float64
+	for _, k := range keys {
+		sum += m[k]
+	}
+	return sum
+}

@@ -1,0 +1,79 @@
+// Package oftest exercises the orderedfloat analyzer: captured float
+// accumulators in parallel callbacks and map-range reductions.
+package oftest
+
+func forEach(n int, fn func(i int)) {
+	for i := 0; i < n; i++ {
+		fn(i)
+	}
+}
+
+func capturedAccumulator(vals []float64) float64 {
+	var sum float64
+	forEach(len(vals), func(i int) {
+		sum += vals[i] // want `float accumulation into captured sum inside a parallel callback`
+	})
+	return sum
+}
+
+func indexedSlots(vals []float64) float64 {
+	out := make([]float64, len(vals))
+	forEach(len(vals), func(i int) {
+		out[i] = vals[i] * 2 // writes its own slot: no accumulation
+	})
+	var sum float64
+	for _, v := range out { // serial reduction in submission order
+		sum += v
+	}
+	return sum
+}
+
+// localInsideCallback accumulates into a variable declared inside the
+// callback: per-invocation state, not a shared reduction.
+func localInsideCallback(rows [][]float64) []float64 {
+	out := make([]float64, len(rows))
+	forEach(len(rows), func(i int) {
+		var rowSum float64
+		for _, v := range rows[i] {
+			rowSum += v
+		}
+		out[i] = rowSum
+	})
+	return out
+}
+
+func goroutineAccumulator(vals []float64, done chan struct{}) float64 {
+	var sum float64
+	go func() {
+		for _, v := range vals {
+			sum += v // want `float accumulation into captured sum inside a parallel callback or goroutine`
+		}
+		close(done)
+	}()
+	<-done
+	return sum
+}
+
+func mapRange(byApp map[string]float64) float64 {
+	var total float64
+	for _, v := range byApp {
+		total += v // want `float accumulation while ranging over map byApp`
+	}
+	return total
+}
+
+func intMapRange(byApp map[string]int) int {
+	total := 0
+	for _, v := range byApp { // integer addition commutes exactly: fine
+		total += v
+	}
+	return total
+}
+
+func sliceRange(vals []float64) float64 {
+	var total float64
+	for _, v := range vals {
+		total += v
+	}
+	return total
+}

@@ -9,9 +9,15 @@ import (
 // suppressions, and returns the surviving diagnostics sorted by position.
 // Malformed suppression comments are themselves reported (analyzer "lint").
 func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	known := make(map[string]bool, len(analyzers)+1)
+	known["lint"] = true // the suppression checker's own findings
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+	facts := NewFactStore()
 	var out []Diagnostic
 	for _, pkg := range pkgs {
-		sup := buildSuppressions(pkg.Fset, pkg.Files)
+		sup := buildSuppressions(pkg.Fset, pkg.Files, known)
 		out = append(out, sup.malformed...)
 		for _, a := range analyzers {
 			var diags []Diagnostic
@@ -22,6 +28,8 @@ func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 				Pkg:      pkg.Types,
 				Info:     pkg.Info,
 				diags:    &diags,
+				pkg:      pkg,
+				facts:    facts,
 			}
 			if err := a.Run(pass); err != nil {
 				return nil, fmt.Errorf("analyzer %s on %s: %w", a.Name, pkg.Path, err)

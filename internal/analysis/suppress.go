@@ -1,8 +1,10 @@
 package analysis
 
 import (
+	"fmt"
 	"go/ast"
 	"go/token"
+	"sort"
 	"strings"
 )
 
@@ -29,8 +31,22 @@ type suppressKey struct {
 }
 
 // buildSuppressions scans the package's comments for //lint:allow markers.
-func buildSuppressions(fset *token.FileSet, files []*ast.File) *suppressionSet {
+// known is the set of analyzer names in the current run: a suppression is
+// scoped to exactly one of them, and a name outside the set is itself a
+// finding — a typo'd suppression waives nothing and would otherwise rot
+// silently next to the diagnostic it was meant to cover.
+func buildSuppressions(fset *token.FileSet, files []*ast.File, known map[string]bool) *suppressionSet {
 	s := &suppressionSet{allowed: make(map[suppressKey]bool)}
+	report := func(pos token.Position, format string, args ...any) {
+		s.malformed = append(s.malformed, Diagnostic{
+			Pos:      pos,
+			File:     pos.Filename,
+			Line:     pos.Line,
+			Column:   pos.Column,
+			Analyzer: "lint",
+			Message:  fmt.Sprintf(format, args...),
+		})
+	}
 	for _, f := range files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -41,14 +57,12 @@ func buildSuppressions(fset *token.FileSet, files []*ast.File) *suppressionSet {
 				pos := fset.Position(c.Pos())
 				fields := strings.Fields(text)
 				if len(fields) < 2 {
-					s.malformed = append(s.malformed, Diagnostic{
-						Pos:      pos,
-						File:     pos.Filename,
-						Line:     pos.Line,
-						Column:   pos.Column,
-						Analyzer: "lint",
-						Message:  "malformed suppression: want //lint:allow <analyzer> <reason>, with a non-empty reason",
-					})
+					report(pos, "malformed suppression: want //lint:allow <analyzer> <reason>, with a non-empty reason")
+					continue
+				}
+				if !known[fields[0]] {
+					report(pos, "suppression names unknown analyzer %q (known: %s); a typo here suppresses nothing",
+						fields[0], strings.Join(sortedNames(known), ", "))
 					continue
 				}
 				s.allowed[suppressKey{pos.Filename, pos.Line, fields[0]}] = true
@@ -56,6 +70,15 @@ func buildSuppressions(fset *token.FileSet, files []*ast.File) *suppressionSet {
 		}
 	}
 	return s
+}
+
+func sortedNames(set map[string]bool) []string {
+	names := make([]string, 0, len(set))
+	for n := range set {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
 }
 
 // suppressed reports whether d is waived by a marker on its line or the

@@ -1,0 +1,151 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+	"testing"
+)
+
+// reportEverywhere returns an analyzer that reports one diagnostic per
+// `var _ = N` declaration in the package, at the declaration's position.
+func reportEverywhere(name string) *Analyzer {
+	return &Analyzer{Name: name, Doc: "test", Run: func(pass *Pass) error {
+		pass.Inspect(func(n ast.Node) bool {
+			if vs, ok := n.(*ast.ValueSpec); ok {
+				pass.Reportf(vs.Pos(), "finding from %s", name)
+			}
+			return true
+		})
+		return nil
+	}}
+}
+
+func loadOne(t *testing.T, src string) *Package {
+	t.Helper()
+	loader := writeTestdata(t, map[string]string{"suptest/a.go": src})
+	pkg, err := loader.Load("suptest")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pkg
+}
+
+func messages(diags []Diagnostic) []string {
+	out := make([]string, len(diags))
+	for i, d := range diags {
+		out[i] = d.Analyzer + ": " + d.Message
+	}
+	return out
+}
+
+// A suppression waives only the analyzer it names: alpha's finding on the
+// annotated line survives a beta-scoped suppression.
+func TestSuppressionScopedToSingleAnalyzer(t *testing.T) {
+	pkg := loadOne(t, `package suptest
+
+var _ = 1 //lint:allow alpha demonstration waiver
+
+var _ = 2 //lint:allow beta waives beta only
+`)
+	diags, err := Run([]*Package{pkg}, []*Analyzer{reportEverywhere("alpha"), reportEverywhere("beta")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := messages(diags)
+	want := []string{"beta: finding from beta", "alpha: finding from alpha"}
+	if len(got) != 2 {
+		t.Fatalf("diags = %v, want exactly the cross-analyzer leftovers %v", got, want)
+	}
+	// Line 3 keeps beta's finding, line 5 keeps alpha's.
+	if diags[0].Line != 3 || diags[0].Analyzer != "beta" {
+		t.Errorf("line 3 diagnostic = %+v, want beta's finding to survive alpha's waiver", diags[0])
+	}
+	if diags[1].Line != 5 || diags[1].Analyzer != "alpha" {
+		t.Errorf("line 5 diagnostic = %+v, want alpha's finding to survive beta's waiver", diags[1])
+	}
+}
+
+// An unknown analyzer name in a suppression is itself a diagnostic instead
+// of silently suppressing nothing.
+func TestSuppressionUnknownAnalyzerIsDiagnostic(t *testing.T) {
+	pkg := loadOne(t, `package suptest
+
+var _ = 1 //lint:allow alhpa typo'd analyzer name
+`)
+	diags, err := Run([]*Package{pkg}, []*Analyzer{reportEverywhere("alpha")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lint, alpha int
+	for _, d := range diags {
+		switch d.Analyzer {
+		case "lint":
+			lint++
+			if !strings.Contains(d.Message, `unknown analyzer "alhpa"`) {
+				t.Errorf("lint message %q does not name the typo", d.Message)
+			}
+			if !strings.Contains(d.Message, "alpha") {
+				t.Errorf("lint message %q does not list the known analyzers", d.Message)
+			}
+		case "alpha":
+			alpha++ // the typo'd waiver must not suppress the real finding
+		}
+	}
+	if lint != 1 || alpha != 1 {
+		t.Errorf("got %d lint + %d alpha diagnostics, want 1 + 1: %v", lint, alpha, messages(diags))
+	}
+}
+
+// A suppression with no reason stays malformed.
+func TestSuppressionRequiresReason(t *testing.T) {
+	pkg := loadOne(t, `package suptest
+
+var _ = 1 //lint:allow alpha
+`)
+	diags, err := Run([]*Package{pkg}, []*Analyzer{reportEverywhere("alpha")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	foundMalformed := false
+	for _, d := range diags {
+		if d.Analyzer == "lint" && strings.Contains(d.Message, "malformed suppression") {
+			foundMalformed = true
+		}
+	}
+	if !foundMalformed {
+		t.Errorf("missing malformed-suppression diagnostic: %v", messages(diags))
+	}
+}
+
+// A well-formed suppression naming a known analyzer still works.
+func TestSuppressionKnownAnalyzerWaives(t *testing.T) {
+	pkg := loadOne(t, `package suptest
+
+var _ = 1 //lint:allow alpha documented and accepted
+`)
+	diags, err := Run([]*Package{pkg}, []*Analyzer{reportEverywhere("alpha")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 0 {
+		t.Errorf("diags = %v, want none", messages(diags))
+	}
+}
+
+// The "lint" pseudo-analyzer is always known, so its own findings can be
+// waived where a malformed-looking comment is intentional.
+func TestSuppressionLintNameKnown(t *testing.T) {
+	pkg := loadOne(t, `package suptest
+
+var _ = 1 //lint:allow lint placeholder waiver for the lint checker itself
+`)
+	diags, err := Run([]*Package{pkg}, []*Analyzer{reportEverywhere("alpha")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		if d.Analyzer == "lint" {
+			t.Errorf("lint name rejected as unknown: %v", d)
+		}
+	}
+}

@@ -132,48 +132,48 @@ type Options struct {
 type Recorder struct {
 	mu sync.Mutex
 
-	policy     string
-	sets, ways int
+	policy     string // guarded by mu
+	sets, ways int    // guarded by mu
 
 	// Shadow reference models.
-	fa   *belady.FAShadow // equal-capacity fully-associative: classifier
-	opt  *belady.Shadow   // same-geometry Belady: regret reference
-	seen map[uint64]struct{}
+	fa   *belady.FAShadow    // guarded by mu; equal-capacity fully-associative: classifier
+	opt  *belady.Shadow      // guarded by mu; same-geometry Belady: regret reference
+	seen map[uint64]struct{} // guarded by mu
 
 	// nextUse mirrors the *real* BTB residents' next-use positions (updated
 	// on every hit/fill probe), so Belady's choice over the actual set
 	// contents is computable at decision time.
-	nextUse []int
+	nextUse []int // guarded by mu
 
 	// Miss classification (post-warmup).
-	classes  [numMissClasses]uint64
-	accesses uint64
-	hits     uint64
-	misses   uint64
+	classes  [numMissClasses]uint64 // guarded by mu
+	accesses uint64                 // guarded by mu
+	hits     uint64                 // guarded by mu
+	misses   uint64                 // guarded by mu
 
 	// Regret accounting (post-warmup).
-	evictions    uint64
-	bypasses     uint64
-	agreeOPT     uint64
-	charged      uint64
-	unattributed uint64
-	windfall     uint64
+	evictions    uint64 // guarded by mu
+	bypasses     uint64 // guarded by mu
+	agreeOPT     uint64 // guarded by mu
+	charged      uint64 // guarded by mu
+	unattributed uint64 // guarded by mu
+	windfall     uint64 // guarded by mu
 
 	// pending maps an evicted (or bypassed) branch to the decision that
 	// last denied it residency; its next demand miss is charged there.
-	pending   map[uint64]*Decision
-	perSet    []SetRegret
-	perBranch map[uint64]*BranchRegret
+	pending   map[uint64]*Decision     // guarded by mu
+	perSet    []SetRegret              // guarded by mu
+	perBranch map[uint64]*BranchRegret // guarded by mu
 
 	// Decision ring (last RingCap decisions).
-	ring      []*Decision
-	ringHead  int
-	ringTotal uint64
+	ring      []*Decision // guarded by mu
+	ringHead  int         // guarded by mu
+	ringTotal uint64      // guarded by mu
 
 	// Heatmap ring (last HeatCap epoch rows).
-	heat      []HeatRow
-	heatHead  int
-	heatTotal uint64
+	heat      []HeatRow // guarded by mu
+	heatHead  int       // guarded by mu
+	heatTotal uint64    // guarded by mu
 	heatCap   int
 	ringCap   int
 }

@@ -110,8 +110,8 @@ type Context struct {
 	Telemetry *telemetry.Registry
 
 	mu     sync.Mutex
-	traces map[string]*ctxTraceSlot
-	hints  map[string]*ctxHintSlot
+	traces map[string]*ctxTraceSlot // guarded by mu
+	hints  map[string]*ctxHintSlot  // guarded by mu
 }
 
 // Single-flight cache slots: the goroutine that creates a slot under c.mu

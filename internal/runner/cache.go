@@ -19,11 +19,11 @@ import (
 type Cache struct {
 	mu  sync.Mutex
 	cap int
-	ll  *list.List               // front = most recently used
-	mem map[string]*list.Element // key -> element holding *cacheEntry
+	ll  *list.List               // guarded by mu; front = most recently used
+	mem map[string]*list.Element // guarded by mu; key -> element holding *cacheEntry
 	dir string                   // "" = memory only
 
-	hits, misses, diskHits, evictions, diskErrors uint64
+	hits, misses, diskHits, evictions, diskErrors uint64 // guarded by mu
 }
 
 type cacheEntry struct {

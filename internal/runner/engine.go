@@ -40,8 +40,8 @@ type Engine struct {
 	Spans *span.Tracer
 
 	mu         sync.Mutex
-	traces     map[string]*traceSlot
-	hintTables map[string]*hintSlot
+	traces     map[string]*traceSlot // guarded by mu
+	hintTables map[string]*hintSlot  // guarded by mu
 	queued     atomic.Int64
 	inflight   atomic.Int64
 

@@ -3,6 +3,7 @@ package server
 import (
 	"encoding/json"
 	"fmt"
+	"math"
 	"net/http"
 	"strconv"
 	"time"
@@ -94,7 +95,7 @@ func (s *Server) eventsSince(jobID string, seq int) (evs []JobEvent, terminal bo
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	log := s.events[jobID]
-	if seq < len(log) {
+	if seq >= 0 && seq < len(log) {
 		evs = append(evs, log[seq:]...)
 	}
 	j := s.jobs[jobID]
@@ -155,7 +156,9 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	}
 	cursor := 0
 	if lei := r.Header.Get("Last-Event-ID"); lei != "" {
-		if n, err := strconv.Atoi(lei); err == nil && n >= 0 {
+		// n+1 must not wrap: a hostile Last-Event-ID of MaxInt would turn
+		// the cursor negative and index the log with it.
+		if n, err := strconv.Atoi(lei); err == nil && n >= 0 && n < math.MaxInt {
 			cursor = n + 1
 		}
 	}

@@ -4,8 +4,10 @@ import (
 	"bufio"
 	"context"
 	"encoding/json"
+	"math"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"testing"
 	"time"
@@ -324,4 +326,39 @@ func TestServerSpans(t *testing.T) {
 	if byName["sweep"].Dur <= 0 || byName["queue_wait"].Dur < 0 {
 		t.Fatalf("span durations: sweep=%d queue_wait=%d", byName["sweep"].Dur, byName["queue_wait"].Dur)
 	}
+}
+
+// TestSSEHostileLastEventID resumes with Last-Event-ID values crafted to
+// overflow the cursor arithmetic (MaxInt → cursor wraps negative → the
+// log[seq:] reslice panics) or to be negative outright. The server must
+// treat both as "replay from the start" instead of crashing the handler.
+func TestSSEHostileLastEventID(t *testing.T) {
+	s := newTestServer(t, &progressRunner{}, Options{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	post(t, s.Handler(), `[{"app":"kafka"}]`)
+	waitState(t, s, "job-000001", StateDone)
+
+	// MaxInt would make cursor = n+1 wrap negative; negative and garbage
+	// values are rejected by parsing. All three must fall back to a full
+	// replay.
+	for _, lei := range []string{strconv.Itoa(math.MaxInt), "-7", "junk"} {
+		c := dialSSE(t, ts.URL, "job-000001", lei)
+		// queued + running + started + done(progress) + done(state) = 5 events.
+		if ev := c.next(t); ev.Seq != 0 {
+			t.Fatalf("Last-Event-ID %q: first replayed seq = %d, want 0", lei, ev.Seq)
+		}
+		for i := 0; i < 4; i++ {
+			c.next(t)
+		}
+		c.waitEnd(t)
+		c.cancel()
+	}
+
+	// A huge but in-range ID is past the end of the log: nothing to replay,
+	// clean end-of-stream, no panic.
+	c := dialSSE(t, ts.URL, "job-000001", strconv.Itoa(math.MaxInt-1))
+	c.waitEnd(t)
+	c.cancel()
 }

@@ -102,20 +102,20 @@ type Server struct {
 	opts   Options
 
 	mu       sync.Mutex
-	jobs     map[string]*Job
-	order    []string // submission order, for listing
+	jobs     map[string]*Job // guarded by mu
+	order    []string        // guarded by mu; submission order, for listing
 	queue    chan *Job
-	draining bool
-	seq      int
+	draining bool // guarded by mu
+	seq      int  // guarded by mu
 
 	// Per-job append-only event logs and their SSE watchers; progStart/
 	// progDone track the running job's per-spec wall times (the dispatcher
 	// runs one sweep at a time, so one set of slots suffices).
-	events     map[string][]JobEvent
-	watchers   map[string]map[int]chan struct{}
-	watcherSeq int
-	progStart  map[int]time.Time
-	progDone   int
+	events     map[string][]JobEvent            // guarded by mu
+	watchers   map[string]map[int]chan struct{} // guarded by mu
+	watcherSeq int                              // guarded by mu
+	progStart  map[int]time.Time                // guarded by mu
+	progDone   int                              // guarded by mu
 
 	runCtx    context.Context
 	runCancel context.CancelFunc
@@ -155,6 +155,7 @@ func New(r SweepRunner, opts Options) *Server {
 		}
 		m.Gauge("thermod_queue_depth").Set(0)
 	}
+	//lint:allow ctxflow the dispatcher outlives any one request; Shutdown cancels this root
 	s.runCtx, s.runCancel = context.WithCancel(context.Background())
 	go s.dispatch()
 	return s

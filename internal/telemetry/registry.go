@@ -56,9 +56,9 @@ func (g *Gauge) Value() uint64 { return g.v.Load() }
 // hot path: callers keep the returned pointer and update through it.
 type Registry struct {
 	mu         sync.Mutex
-	counters   map[string]*Counter
-	gauges     map[string]*Gauge
-	histograms map[string]*Histogram
+	counters   map[string]*Counter   // guarded by mu
+	gauges     map[string]*Gauge     // guarded by mu
+	histograms map[string]*Histogram // guarded by mu
 }
 
 // NewRegistry returns an empty registry.

@@ -75,9 +75,9 @@ type Tracer struct {
 	nowNanos func() int64
 
 	mu    sync.Mutex
-	buf   []Span
-	head  int    // next write index once the ring is full
-	total uint64 // spans ever recorded
+	buf   []Span // guarded by mu
+	head  int    // guarded by mu; next write index once the ring is full
+	total uint64 // guarded by mu; spans ever recorded
 }
 
 // New returns a tracer retaining the last capacity spans (minimum 1).
@@ -98,6 +98,10 @@ func (t *Tracer) Cap() int {
 	if t == nil {
 		return 0
 	}
+	// Record reassigns the slice header (append), so even reading cap(buf)
+	// unlocked is a data race on the header word.
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	return cap(t.buf)
 }
 
@@ -181,16 +185,25 @@ func (t *Tracer) Spans() []Span {
 	if t == nil {
 		return nil
 	}
+	out, _, _ := t.snapshot()
+	return out
+}
+
+// snapshot copies the retained spans oldest-first together with the
+// total/dropped counters under ONE lock acquisition, so the counters always
+// agree with the span list even while Record runs concurrently (the
+// /debug/spans handler exports during live sweeps).
+func (t *Tracer) snapshot() (spans []Span, total, dropped uint64) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	out := make([]Span, 0, len(t.buf))
+	spans = make([]Span, 0, len(t.buf))
 	if len(t.buf) == cap(t.buf) {
-		out = append(out, t.buf[t.head:]...)
-		out = append(out, t.buf[:t.head]...)
+		spans = append(spans, t.buf[t.head:]...)
+		spans = append(spans, t.buf[:t.head]...)
 	} else {
-		out = append(out, t.buf...)
+		spans = append(spans, t.buf...)
 	}
-	return out
+	return spans, t.total, t.total - uint64(len(t.buf))
 }
 
 // WriteChromeTrace emits the retained spans as Chrome trace_event JSON
@@ -202,8 +215,10 @@ func (t *Tracer) WriteChromeTrace(w io.Writer) error {
 	var spans []Span
 	var total, dropped uint64
 	if t != nil {
-		spans = t.Spans()
-		total, dropped = t.Total(), t.Dropped()
+		// One lock acquisition for all three: reading them separately lets a
+		// concurrent Record land between the reads, exporting metadata that
+		// contradicts the span array it describes.
+		spans, total, dropped = t.snapshot()
 	}
 	bw := bufio.NewWriter(w)
 	fmt.Fprintf(bw,
