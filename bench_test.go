@@ -14,7 +14,12 @@ import (
 	"strings"
 	"testing"
 
+	"thermometer/internal/btb"
+	"thermometer/internal/core"
 	"thermometer/internal/experiments"
+	"thermometer/internal/policy"
+	"thermometer/internal/profile"
+	"thermometer/internal/workload"
 )
 
 func envInt(name string, def int) int {
@@ -225,4 +230,42 @@ func BenchmarkFig21Twig(b *testing.B) {
 		"thermometer_plus_twig_pct": {"Avg", "Thermometer"},
 		"opt_plus_twig_pct":         {"Avg", "OPT"},
 	})
+}
+
+// BenchmarkCoreLoop measures the raw cycle loop — one timing simulation per
+// iteration on a pre-generated trace, no experiment harness — and reports
+// blocks (taken branches) per second plus allocs/op. This is the number the
+// perf-trajectory gate (cmd/benchsnap) tracks per grid cell; the steady
+// state is allocation-free, so allocs/op is setup cost only.
+func BenchmarkCoreLoop(b *testing.B) {
+	app, ok := workload.App("clang")
+	if !ok {
+		b.Fatal("unknown app clang")
+	}
+	tr := app.ScaleLength(1, envInt("THERMOMETER_BENCH_SCALE", 4)*4).Generate(0)
+	tr.AccessStream() // warm the cached oracle stream
+	for _, pol := range []string{"lru", "srrip", "thermometer"} {
+		b.Run(pol, func(b *testing.B) {
+			cfg := core.DefaultConfig()
+			switch pol {
+			case "srrip":
+				cfg.NewPolicy = func() btb.Policy { return policy.NewSRRIP() }
+			case "thermometer":
+				ht, _, err := profile.ProfileTrace(tr, cfg.BTBEntries, cfg.BTBWays, profile.DefaultConfig())
+				if err != nil {
+					b.Fatal(err)
+				}
+				cfg.Hints = ht
+				cfg.NewPolicy = func() btb.Policy { return policy.NewThermometer() }
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			var blocks uint64
+			for i := 0; i < b.N; i++ {
+				r := core.Run(tr, cfg)
+				blocks = r.BTB.Accesses
+			}
+			b.ReportMetric(float64(blocks)*float64(b.N)/b.Elapsed().Seconds(), "blocks/s")
+		})
+	}
 }

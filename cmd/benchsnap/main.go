@@ -15,6 +15,12 @@
 //
 //	benchsnap -compare BENCH_0.json -with bench-new.json
 //
+// Gate on an absolute machine-normalized throughput floor (blocks per
+// calibration unit; see perfsnap.BlocksPerCalib) instead of, or in addition
+// to, the relative comparison:
+//
+//	benchsnap -compare BENCH_1.json -floor 2500000
+//
 // Every cell runs serially (Workers=1, no cache) so the numbers measure the
 // simulator, not the pool. Cross-machine comparisons are made on
 // machine-normalized scores: each cell's median ns divided by the wall time
@@ -53,6 +59,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		warmup    = fs.Int("warmup", 1, "discarded warm-up iterations per grid cell")
 		scale     = fs.Int("scale", 16, "trace scale divisor for the grid")
 		threshold = fs.Float64("threshold", 0.10, "relative slowdown that counts as a regression")
+		floor     = fs.Float64("floor", 0, "minimum grid-median normalized throughput (blocks per calibration unit); 0 disables the gate")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -96,6 +103,14 @@ func run(args []string, stdout, stderr io.Writer) error {
 	} else if *compare == "" {
 		if err := snap.Write(stdout); err != nil {
 			return err
+		}
+	}
+
+	if *floor > 0 {
+		med := snap.MedianBlocksPerCalib()
+		fmt.Fprintf(stdout, "grid median throughput: %.0f blocks/calib (floor %.0f)\n", med, *floor)
+		if med < *floor {
+			return fmt.Errorf("throughput below absolute floor: %.0f < %.0f blocks/calib", med, *floor)
 		}
 	}
 
@@ -162,7 +177,10 @@ func measure(scale, samples, warmup int, progress io.Writer) (*perfsnap.Snapshot
 	for _, spec := range specs {
 		cell := perfsnap.Cell{Policy: spec.Policy, App: spec.App}
 		for i := 0; i < warmup+samples; i++ {
-			// A fresh cache-less engine per iteration: every run simulates.
+			// A fresh result-cache-less engine per iteration: every run
+			// simulates. (Workload traces are content-addressed and shared
+			// at package level inside the runner, so iterations measure the
+			// simulator, not workload synthesis.)
 			e := &runner.Engine{Workers: 1}
 			var before, after runtime.MemStats
 			runtime.ReadMemStats(&before)

@@ -47,27 +47,41 @@ type tageComp struct {
 	tagFold2 foldedHistory
 }
 
+// tageEntry is laid out tag-first so the struct packs into 4 bytes (the
+// natural field order pads to 6): the tables are scanned every lookup, and
+// a third less table footprint is measurable.
 type tageEntry struct {
-	ctr    int8 // 3-bit signed counter [-4, 3]; >= 0 predicts taken
 	tag    uint16
+	ctr    int8  // 3-bit signed counter [-4, 3]; >= 0 predicts taken
 	useful uint8 // 2-bit
 }
 
 // foldedHistory compresses the most recent histLen bits of history into
-// bits output bits, updated incrementally in O(1) per branch.
+// bits output bits, updated incrementally in O(1) per branch. The shift at
+// which the oldest bit falls out (histLen mod bits) and the output mask are
+// precomputed: update runs 24 times per branch (8 components × 3 folds), so
+// per-call divisions are measurable.
 type foldedHistory struct {
-	value   uint64
-	histLen int
-	bits    int
+	value    uint64
+	bits     uint
+	outShift uint   // histLen % bits
+	mask     uint64 // 1<<bits - 1
 }
 
-func (f *foldedHistory) update(ghist []uint8, hpos int, newBit uint8) {
+func newFoldedHistory(histLen, bits int) foldedHistory {
+	return foldedHistory{
+		bits:     uint(bits),
+		outShift: uint(histLen % bits),
+		mask:     1<<uint(bits) - 1,
+	}
+}
+
+func (f *foldedHistory) update(newBit, oldest uint8) {
 	// Insert the new bit, remove the bit that falls off the end.
 	f.value = (f.value << 1) | uint64(newBit)
-	oldest := ghist[(hpos-f.histLen+len(ghist))%len(ghist)]
-	f.value ^= uint64(oldest) << (f.histLen % f.bits)
+	f.value ^= uint64(oldest) << f.outShift
 	f.value ^= f.value >> f.bits
-	f.value &= 1<<f.bits - 1
+	f.value &= f.mask
 }
 
 // DefaultTAGEConfig returns component geometry approximating a 64KB budget:
@@ -93,9 +107,9 @@ func NewTAGE() *TAGE {
 	for i := range t.comps {
 		c := &t.comps[i]
 		c.entries = make([]tageEntry, 1<<c.logSize)
-		c.idxFold = foldedHistory{histLen: c.histLen, bits: c.logSize}
-		c.tagFold = foldedHistory{histLen: c.histLen, bits: c.tagBits}
-		c.tagFold2 = foldedHistory{histLen: c.histLen, bits: c.tagBits - 1}
+		c.idxFold = newFoldedHistory(c.histLen, c.logSize)
+		c.tagFold = newFoldedHistory(c.histLen, c.tagBits)
+		c.tagFold2 = newFoldedHistory(c.histLen, c.tagBits-1)
 	}
 	t.predIdx = make([]uint64, len(t.comps))
 	t.predTag = make([]uint64, len(t.comps))
@@ -231,13 +245,17 @@ func updateCtr(c *int8, taken bool) {
 
 func (t *TAGE) pushHistory(taken bool) {
 	bit := uint8(b2u(taken))
-	t.hpos = (t.hpos + 1) % len(t.ghist)
+	ringMask := len(t.ghist) - 1 // ghist length is a power of two
+	t.hpos = (t.hpos + 1) & ringMask
 	t.ghist[t.hpos] = bit
 	for i := range t.comps {
 		c := &t.comps[i]
-		c.idxFold.update(t.ghist, t.hpos, bit)
-		c.tagFold.update(t.ghist, t.hpos, bit)
-		c.tagFold2.update(t.ghist, t.hpos, bit)
+		// The three folds of one component share a history length, so the
+		// bit falling off the end is fetched once.
+		oldest := t.ghist[(t.hpos-c.histLen+len(t.ghist))&ringMask]
+		c.idxFold.update(bit, oldest)
+		c.tagFold.update(bit, oldest)
+		c.tagFold2.update(bit, oldest)
 	}
 }
 

@@ -7,10 +7,19 @@
 // is plain address-modulo-set-count (§4.2), which is why the 7979-entry
 // configuration of Fig 11 can distribute branches differently from the
 // 8192-entry one.
+//
+// Storage is struct-of-arrays: one valid bitmask word per set plus parallel
+// pc/target/meta arrays, so the hit scan touches only the tag column and
+// skips invalid ways via the bitmask instead of loading whole entries.
+// Power-of-two set counts index with a mask; others (the paper's 7979-entry
+// case) keep the modulo. Hot policies are dispatched through concrete cores
+// chosen once at construction (see cores.go); the Policy interface remains
+// the extension point and is always used when a telemetry probe is attached.
 package btb
 
 import (
 	"fmt"
+	"math/bits"
 
 	"thermometer/internal/trace"
 )
@@ -71,8 +80,9 @@ type Policy interface {
 	// set `set` (after any eviction).
 	OnInsert(set, way int, req *Request)
 	// Victim selects the way to evict from `set` to make room for req, or
-	// returns Bypass to skip insertion. entries holds the set's ways
-	// (all valid — Victim is only consulted when the set is full).
+	// returns Bypass to skip insertion. entries holds a snapshot of the
+	// set's ways (all valid — Victim is only consulted when the set is
+	// full); implementations must not retain or mutate it.
 	Victim(set int, entries []Entry, req *Request) int
 }
 
@@ -138,13 +148,62 @@ const (
 // A nil probe (the default) costs one predictable branch per event site.
 type ProbeFunc func(kind ProbeKind, set, way int, req *Request, victim *Entry)
 
+// dispatchKind selects the devirtualized per-access path, chosen once at
+// construction from the policy's Fast* accessor (kindGeneric = interface
+// dispatch).
+type dispatchKind uint8
+
+const (
+	kindGeneric dispatchKind = iota
+	kindLRU
+	kindSRRIP
+	kindThermo
+	kindOPT
+)
+
 // BTB is a set-associative branch target buffer.
+//
+// Layout: slot (s, w) of the conceptual sets×ways grid lives at flat index
+// s*ways+w of the pcs/targets/meta columns; bit w%64 of valid[s*vwords +
+// w/64] marks it valid (vwords is 1 for every associativity up to 64 —
+// i.e. all real configurations — and only the Fig 19 sensitivity sweep's
+// 128-way point uses more). meta packs the branch type in the low byte and
+// the temperature hint in the high byte. Invalid slots hold zeroes
+// (entries are only ever overwritten, never invalidated), so materializing
+// an Entry from the columns is exact.
 type BTB struct {
 	sets, ways int
-	entries    []Entry // sets × ways, row-major
-	policy     Policy
-	stats      Stats
-	probe      ProbeFunc
+	setMask    uint64 // sets-1 when sets is a power of two
+	pow2       bool
+	vwords     int      // valid-bitmask words per set: ceil(ways/64)
+	fullMasks  []uint64 // per-word all-valid masks (last word partial)
+
+	valid   []uint64 // sets × vwords
+	pcs     []uint64 // sets × ways, row-major
+	targets []uint64
+	meta    []uint16 // Type | Temperature<<8
+
+	policy Policy
+	stats  Stats
+	probe  ProbeFunc
+
+	// Devirtualized dispatch: kind and the matching core pointer are chosen
+	// once in NewWithSets. The pointers alias state inside policy, so the
+	// interface path (probe attached, or kindGeneric) stays consistent.
+	kind   dispatchKind
+	lru    *LRUCore
+	srrip  *SRRIPCore
+	thermo *ThermometerCore
+	opt    *OPTCore
+
+	// Scratch reused across calls so the steady state allocates nothing:
+	// req receives a copy of the caller's request before it is handed to
+	// interface methods or probes (keeping the caller's Request on its
+	// stack), setScratch materializes a set for Policy.Victim, and
+	// evScratch holds the displaced entry passed to ProbeEvict.
+	req        Request
+	setScratch []Entry
+	evScratch  Entry
 }
 
 // New builds a BTB with totalEntries/ways sets (truncating division, which
@@ -162,13 +221,42 @@ func NewWithSets(sets, ways int, p Policy) *BTB {
 	if sets <= 0 || ways <= 0 {
 		panic(fmt.Sprintf("btb: bad geometry %d sets / %d ways", sets, ways))
 	}
+	vwords := (ways + 63) / 64
+	fullMasks := make([]uint64, vwords)
+	for i := range fullMasks {
+		fullMasks[i] = ^uint64(0)
+	}
+	if r := ways % 64; r != 0 {
+		fullMasks[vwords-1] = ^uint64(0) >> (64 - r)
+	}
 	b := &BTB{
-		sets:    sets,
-		ways:    ways,
-		entries: make([]Entry, sets*ways),
-		policy:  p,
+		sets:       sets,
+		ways:       ways,
+		pow2:       sets&(sets-1) == 0,
+		setMask:    uint64(sets - 1),
+		vwords:     vwords,
+		fullMasks:  fullMasks,
+		valid:      make([]uint64, sets*vwords),
+		pcs:        make([]uint64, sets*ways),
+		targets:    make([]uint64, sets*ways),
+		meta:       make([]uint16, sets*ways),
+		policy:     p,
+		setScratch: make([]Entry, ways),
 	}
 	p.Reset(sets, ways)
+	// Devirtualize: adopt the policy's concrete core when it offers one.
+	// Checked most-specific first (Thermometer owns an LRU internally but
+	// must dispatch as Thermometer).
+	switch fp := p.(type) {
+	case ThermometerFastPath:
+		b.kind, b.thermo = kindThermo, fp.FastThermometer()
+	case SRRIPFastPath:
+		b.kind, b.srrip = kindSRRIP, fp.FastSRRIP()
+	case OPTFastPath:
+		b.kind, b.opt = kindOPT, fp.FastOPT()
+	case LRUFastPath:
+		b.kind, b.lru = kindLRU, fp.FastLRU()
+	}
 	return b
 }
 
@@ -188,17 +276,145 @@ func (b *BTB) Stats() Stats { return b.stats }
 // state (used at the end of simulation warmup).
 func (b *BTB) ResetStats() { b.stats = Stats{} }
 
-// SetProbe installs (or, with nil, removes) the telemetry probe.
+// SetProbe installs (or, with nil, removes) the telemetry probe. While a
+// probe is attached, accesses take the interface dispatch path so the
+// probe sees the canonical event stream.
 func (b *BTB) SetProbe(fn ProbeFunc) { b.probe = fn }
 
-// SetIndex maps a branch PC to its set: address modulo set count, per §4.2.
+// SetIndex maps a branch PC to its set: address modulo set count, per §4.2
+// (a mask when the set count is a power of two).
 func (b *BTB) SetIndex(pc uint64) int {
+	if b.pow2 {
+		return int(pc & b.setMask)
+	}
 	return int(pc % uint64(b.sets))
 }
 
-// set returns the ways of set s.
-func (b *BTB) set(s int) []Entry {
-	return b.entries[s*b.ways : (s+1)*b.ways]
+// findWay returns the way holding pc in set s, or -1. The bitmask scan
+// visits valid ways in ascending order, matching a linear walk that skips
+// invalid entries.
+func (b *BTB) findWay(s int, pc uint64) int {
+	base := s * b.ways
+	vbase := s * b.vwords
+	for wi := 0; wi < b.vwords; wi++ {
+		for m := b.valid[vbase+wi]; m != 0; m &= m - 1 {
+			i := wi<<6 + bits.TrailingZeros64(m)
+			if b.pcs[base+i] == pc {
+				return i
+			}
+		}
+	}
+	return -1
+}
+
+// firstInvalid returns the lowest invalid way of set s, or -1 when full.
+func (b *BTB) firstInvalid(s int) int {
+	vbase := s * b.vwords
+	for wi := 0; wi < b.vwords; wi++ {
+		if v := b.valid[vbase+wi]; v != b.fullMasks[wi] {
+			return wi<<6 + bits.TrailingZeros64(^v)
+		}
+	}
+	return -1
+}
+
+// entryAt materializes slot (s, w) as an Entry. Invalid slots read as the
+// zero Entry because storage is only ever overwritten, never cleared.
+func (b *BTB) entryAt(s, w int) Entry {
+	i := s*b.ways + w
+	m := b.meta[i]
+	return Entry{
+		Valid:       b.valid[s*b.vwords+w>>6]&(1<<uint(w&63)) != 0,
+		PC:          b.pcs[i],
+		Target:      b.targets[i],
+		Type:        trace.BranchType(m & 0xff),
+		Temperature: uint8(m >> 8),
+	}
+}
+
+// hitUpdate applies the architectural effects of a demand hit on (s, w):
+// hit count, target refresh, and the stored hint (a re-profiled binary may
+// have changed the branch's category). The stored Type is preserved.
+func (b *BTB) hitUpdate(s, w int, req *Request) {
+	i := s*b.ways + w
+	b.stats.Hits++
+	if b.targets[i] != req.Target {
+		b.targets[i] = req.Target
+		b.stats.TargetUpdates++
+	}
+	b.meta[i] = b.meta[i]&0x00ff | uint16(req.Temperature)<<8
+}
+
+// fillAt writes req into slot (s, w) and counts the insertion. The policy
+// insert action is the caller's responsibility (direct on fast paths,
+// OnInsert on the interface path).
+func (b *BTB) fillAt(s, w int, req *Request) {
+	i := s*b.ways + w
+	b.valid[s*b.vwords+w>>6] |= 1 << uint(w&63)
+	b.pcs[i] = req.PC
+	b.targets[i] = req.Target
+	b.meta[i] = uint16(req.Type) | uint16(req.Temperature)<<8
+	b.stats.Insertions++
+}
+
+// fastOnHit dispatches the hit action to the selected core.
+func (b *BTB) fastOnHit(s, w int, req *Request) {
+	switch b.kind {
+	case kindLRU:
+		b.lru.Touch(s, w)
+	case kindSRRIP:
+		b.srrip.Promote(s, w)
+	case kindThermo:
+		b.thermo.Touch(s, w)
+	case kindOPT:
+		b.opt.Record(s, w, req)
+	default:
+		panic("btb: fast hit dispatch on generic policy")
+	}
+}
+
+// fastOnInsert dispatches the insert action to the selected core.
+func (b *BTB) fastOnInsert(s, w int, req *Request) {
+	switch b.kind {
+	case kindLRU:
+		b.lru.Touch(s, w)
+	case kindSRRIP:
+		b.srrip.InsertLong(s, w)
+	case kindThermo:
+		b.thermo.Touch(s, w)
+	case kindOPT:
+		b.opt.Record(s, w, req)
+	default:
+		panic("btb: fast insert dispatch on generic policy")
+	}
+}
+
+// fastVictim dispatches victim selection to the selected core (set full).
+func (b *BTB) fastVictim(s int, req *Request) int {
+	switch b.kind {
+	case kindLRU:
+		return b.lru.LRUWay(s)
+	case kindSRRIP:
+		return b.srrip.SelectVictim(s)
+	case kindThermo:
+		t := b.thermo
+		base := s * b.ways
+		for w := 0; w < b.ways; w++ {
+			t.temps[w] = uint8(b.meta[base+w] >> 8)
+		}
+		return t.SelectVictim(s, t.temps, req)
+	default: // kindOPT
+		return b.opt.SelectVictim(s, req)
+	}
+}
+
+// materializeSet snapshots set s into the reusable scratch for
+// Policy.Victim on the interface path.
+func (b *BTB) materializeSet(s int) []Entry {
+	for w := 0; w < b.ways; w++ {
+		b.setScratch[w] = b.entryAt(s, w)
+	}
+	return b.setScratch
 }
 
 // Lookup probes the BTB without modifying replacement state or statistics.
@@ -206,50 +422,78 @@ func (b *BTB) set(s int) []Entry {
 // uses it on the speculative path; replacement state is updated at branch
 // resolution via Access.
 func (b *BTB) Lookup(pc uint64) (target uint64, hit bool) {
-	ways := b.set(b.SetIndex(pc))
-	for i := range ways {
-		if ways[i].Valid && ways[i].PC == pc {
-			return ways[i].Target, true
-		}
+	s := b.SetIndex(pc)
+	if i := b.findWay(s, pc); i >= 0 {
+		return b.targets[s*b.ways+i], true
 	}
 	return 0, false
 }
 
 // Access performs a demand access for a taken branch: probe, update
 // replacement state on a hit, or consult the policy and insert on a miss.
+//
+// The caller's Request never escapes: fast paths read it in place, and the
+// interface path works on a BTB-owned copy, so per-access Requests stay on
+// the caller's stack.
 func (b *BTB) Access(req *Request) Result {
+	if b.probe == nil && b.kind != kindGeneric {
+		return b.accessFast(req)
+	}
+	b.req = *req
+	return b.accessGeneric(&b.req)
+}
+
+// accessFast is the devirtualized demand access: identical decision
+// sequence to accessGeneric, with the policy hooks dispatched directly.
+func (b *BTB) accessFast(req *Request) Result {
 	b.stats.Accesses++
 	s := b.SetIndex(req.PC)
-	ways := b.set(s)
-	for i := range ways {
-		if ways[i].Valid && ways[i].PC == req.PC {
-			b.stats.Hits++
-			if ways[i].Target != req.Target {
-				ways[i].Target = req.Target
-				b.stats.TargetUpdates++
-			}
-			// Refresh the stored hint: a re-profiled binary may have
-			// changed the branch's category.
-			ways[i].Temperature = req.Temperature
-			b.policy.OnHit(s, i, req)
-			if b.probe != nil {
-				b.probe(ProbeHit, s, i, req, nil)
-			}
-			return Result{Hit: true, Way: i}
-		}
+	if i := b.findWay(s, req.PC); i >= 0 {
+		b.hitUpdate(s, i, req)
+		b.fastOnHit(s, i, req)
+		return Result{Hit: true, Way: i}
 	}
 	b.stats.Misses++
-	// Fill an invalid way if one exists.
-	for i := range ways {
-		if !ways[i].Valid {
-			b.fill(s, i, req)
-			if b.probe != nil {
-				b.probe(ProbeInsert, s, i, req, nil)
-			}
-			return Result{Way: i}
-		}
+	if i := b.firstInvalid(s); i >= 0 {
+		b.fillAt(s, i, req)
+		b.fastOnInsert(s, i, req)
+		return Result{Way: i}
 	}
-	v := b.policy.Victim(s, ways, req)
+	v := b.fastVictim(s, req)
+	if v == Bypass {
+		b.stats.Bypasses++
+		return Result{Bypassed: true, Way: -1}
+	}
+	evicted := b.entryAt(s, v)
+	b.stats.Evictions++
+	b.fillAt(s, v, req)
+	b.fastOnInsert(s, v, req)
+	return Result{Evicted: evicted, Way: v}
+}
+
+// accessGeneric is the interface-dispatch demand access, used for policies
+// without a fast core and whenever a probe is attached.
+func (b *BTB) accessGeneric(req *Request) Result {
+	b.stats.Accesses++
+	s := b.SetIndex(req.PC)
+	if i := b.findWay(s, req.PC); i >= 0 {
+		b.hitUpdate(s, i, req)
+		b.policy.OnHit(s, i, req)
+		if b.probe != nil {
+			b.probe(ProbeHit, s, i, req, nil)
+		}
+		return Result{Hit: true, Way: i}
+	}
+	b.stats.Misses++
+	if i := b.firstInvalid(s); i >= 0 {
+		b.fillAt(s, i, req)
+		b.policy.OnInsert(s, i, req)
+		if b.probe != nil {
+			b.probe(ProbeInsert, s, i, req, nil)
+		}
+		return Result{Way: i}
+	}
+	v := b.policy.Victim(s, b.materializeSet(s), req)
 	if v == Bypass {
 		b.stats.Bypasses++
 		if b.probe != nil {
@@ -260,26 +504,16 @@ func (b *BTB) Access(req *Request) Result {
 	if v < 0 || v >= b.ways {
 		panic(fmt.Sprintf("btb: policy %s returned invalid victim %d", b.policy.Name(), v))
 	}
-	evicted := ways[v]
+	evicted := b.entryAt(s, v)
 	b.stats.Evictions++
-	b.fill(s, v, req)
+	b.fillAt(s, v, req)
+	b.policy.OnInsert(s, v, req)
 	if b.probe != nil {
-		b.probe(ProbeEvict, s, v, req, &evicted)
+		b.evScratch = evicted
+		b.probe(ProbeEvict, s, v, req, &b.evScratch)
 		b.probe(ProbeInsert, s, v, req, nil)
 	}
 	return Result{Evicted: evicted, Way: v}
-}
-
-func (b *BTB) fill(s, way int, req *Request) {
-	b.set(s)[way] = Entry{
-		Valid:       true,
-		PC:          req.PC,
-		Target:      req.Target,
-		Type:        req.Type,
-		Temperature: req.Temperature,
-	}
-	b.stats.Insertions++
-	b.policy.OnInsert(s, way, req)
 }
 
 // PrefetchFill installs req if absent, consulting the replacement policy
@@ -287,36 +521,64 @@ func (b *BTB) fill(s, way int, req *Request) {
 // whether a fill happened. Prefetches do not touch demand hit/miss
 // counters; fills are visible via Stats().PrefetchFills.
 func (b *BTB) PrefetchFill(req *Request) bool {
+	if b.probe == nil && b.kind != kindGeneric {
+		return b.prefetchFast(req)
+	}
+	b.req = *req
+	return b.prefetchGeneric(&b.req)
+}
+
+func (b *BTB) prefetchFast(req *Request) bool {
 	s := b.SetIndex(req.PC)
-	ways := b.set(s)
-	for i := range ways {
-		if ways[i].Valid && ways[i].PC == req.PC {
-			return false // already present
-		}
+	if b.findWay(s, req.PC) >= 0 {
+		return false // already present
 	}
-	for i := range ways {
-		if !ways[i].Valid {
-			b.fill(s, i, req)
-			b.stats.PrefetchFills++
-			if b.probe != nil {
-				b.probe(ProbePrefetchFill, s, i, req, nil)
-			}
-			return true
-		}
+	if i := b.firstInvalid(s); i >= 0 {
+		b.fillAt(s, i, req)
+		b.fastOnInsert(s, i, req)
+		b.stats.PrefetchFills++
+		return true
 	}
-	v := b.policy.Victim(s, ways, req)
+	v := b.fastVictim(s, req)
+	if v == Bypass {
+		return false
+	}
+	b.stats.Evictions++
+	b.fillAt(s, v, req)
+	b.fastOnInsert(s, v, req)
+	b.stats.PrefetchFills++
+	return true
+}
+
+func (b *BTB) prefetchGeneric(req *Request) bool {
+	s := b.SetIndex(req.PC)
+	if b.findWay(s, req.PC) >= 0 {
+		return false // already present
+	}
+	if i := b.firstInvalid(s); i >= 0 {
+		b.fillAt(s, i, req)
+		b.policy.OnInsert(s, i, req)
+		b.stats.PrefetchFills++
+		if b.probe != nil {
+			b.probe(ProbePrefetchFill, s, i, req, nil)
+		}
+		return true
+	}
+	v := b.policy.Victim(s, b.materializeSet(s), req)
 	if v == Bypass {
 		return false
 	}
 	if v < 0 || v >= b.ways {
 		panic(fmt.Sprintf("btb: policy %s returned invalid victim %d", b.policy.Name(), v))
 	}
-	evicted := ways[v]
+	evicted := b.entryAt(s, v)
 	b.stats.Evictions++
-	b.fill(s, v, req)
+	b.fillAt(s, v, req)
+	b.policy.OnInsert(s, v, req)
 	b.stats.PrefetchFills++
 	if b.probe != nil {
-		b.probe(ProbeEvict, s, v, req, &evicted)
+		b.evScratch = evicted
+		b.probe(ProbeEvict, s, v, req, &b.evScratch)
 		b.probe(ProbePrefetchFill, s, v, req, nil)
 	}
 	return true
@@ -325,19 +587,19 @@ func (b *BTB) PrefetchFill(req *Request) bool {
 // Contents returns a copy of a set's entries (for tests and debugging).
 func (b *BTB) Contents(set int) []Entry {
 	out := make([]Entry, b.ways)
-	copy(out, b.set(set))
+	for w := range out {
+		out[w] = b.entryAt(set, w)
+	}
 	return out
 }
 
 // Occupancy returns the fraction of valid entries.
 func (b *BTB) Occupancy() float64 {
 	n := 0
-	for i := range b.entries {
-		if b.entries[i].Valid {
-			n++
-		}
+	for _, v := range b.valid {
+		n += bits.OnesCount64(v)
 	}
-	return float64(n) / float64(len(b.entries))
+	return float64(n) / float64(b.sets*b.ways)
 }
 
 // TemperatureCensus counts valid entries overall and by stored temperature
@@ -345,16 +607,20 @@ func (b *BTB) Occupancy() float64 {
 // report per-temperature occupancy; the walk is O(capacity), so callers
 // should sample it at epoch granularity, not per access.
 func (b *BTB) TemperatureCensus() (valid uint64, byTemp [4]uint64) {
-	for i := range b.entries {
-		if !b.entries[i].Valid {
-			continue
+	for s := 0; s < b.sets; s++ {
+		base := s * b.ways
+		vbase := s * b.vwords
+		for wi := 0; wi < b.vwords; wi++ {
+			for m := b.valid[vbase+wi]; m != 0; m &= m - 1 {
+				w := wi<<6 + bits.TrailingZeros64(m)
+				valid++
+				t := uint8(b.meta[base+w] >> 8)
+				if t > 3 {
+					t = 3
+				}
+				byTemp[t]++
+			}
 		}
-		valid++
-		t := b.entries[i].Temperature
-		if t > 3 {
-			t = 3
-		}
-		byTemp[t]++
 	}
 	return valid, byTemp
 }
@@ -363,15 +629,17 @@ func (b *BTB) TemperatureCensus() (valid uint64, byTemp [4]uint64) {
 // temperature hints. The attribution heatmap samples it per set at epoch
 // boundaries; the walk is O(ways).
 func (b *BTB) SetCensus(s int) (valid, tempSum int) {
-	ways := b.set(s)
-	for i := range ways {
-		if ways[i].Valid {
+	base := s * b.ways
+	vbase := s * b.vwords
+	for wi := 0; wi < b.vwords; wi++ {
+		for m := b.valid[vbase+wi]; m != 0; m &= m - 1 {
+			w := wi<<6 + bits.TrailingZeros64(m)
 			valid++
-			tempSum += int(ways[i].Temperature)
+			tempSum += int(b.meta[base+w] >> 8)
 		}
 	}
 	return valid, tempSum
 }
 
 // Capacity returns the total number of entry slots (sets × ways).
-func (b *BTB) Capacity() int { return len(b.entries) }
+func (b *BTB) Capacity() int { return b.sets * b.ways }

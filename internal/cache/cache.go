@@ -39,15 +39,23 @@ func (l Level) String() string {
 }
 
 // Cache is one set-associative, LRU, write-allocate cache level.
+//
+// Validity is encoded in the tag array: block addresses are byte addresses
+// shifted right by blockBits (≥6), so the all-ones value can never be a
+// real block and doubles as the "never filled" sentinel. The hit scan
+// therefore touches only the tag column; stamps are read on misses and
+// written on hits. The Table 1 geometries all have power-of-two set counts,
+// so the set index is a mask in the common case (setMask >= 0) with a
+// modulo fallback.
 type Cache struct {
 	name      string
 	sets      int
 	ways      int
 	blockBits uint
+	setMask   int64 // sets-1 when sets is a power of two, else -1
 
-	tags  []uint64 // sets×ways, tag = block address
-	valid []bool
-	stamp []uint64
+	tags  []uint64 // sets×ways, tag = block address; invalidTag = empty
+	stamp []uint64 // LRU stamps
 	clock uint64
 
 	Accesses uint64
@@ -69,16 +77,28 @@ func New(name string, sizeBytes, ways, blockBytes int) *Cache {
 	for 1<<bb != blockBytes {
 		bb++
 	}
-	return &Cache{
+	setMask := int64(-1)
+	if sets&(sets-1) == 0 {
+		setMask = int64(sets - 1)
+	}
+	c := &Cache{
 		name:      name,
 		sets:      sets,
 		ways:      ways,
 		blockBits: bb,
+		setMask:   setMask,
 		tags:      make([]uint64, sets*ways),
-		valid:     make([]bool, sets*ways),
 		stamp:     make([]uint64, sets*ways),
 	}
+	for i := range c.tags {
+		c.tags[i] = invalidTag
+	}
+	return c
 }
+
+// invalidTag marks a never-filled way. Block addresses lose at least 6 low
+// bits to the block offset, so the all-ones value cannot collide with one.
+const invalidTag = ^uint64(0)
 
 // Name returns the level's label.
 func (c *Cache) Name() string { return c.name }
@@ -89,42 +109,50 @@ func (c *Cache) Sets() int { return c.sets }
 // block converts a byte address into a block address.
 func (c *Cache) block(addr uint64) uint64 { return addr >> c.blockBits }
 
+// setBase returns the flat index of the set holding block b.
+func (c *Cache) setBase(b uint64) int {
+	if c.setMask >= 0 {
+		return int(b&uint64(c.setMask)) * c.ways
+	}
+	return int(b%uint64(c.sets)) * c.ways
+}
+
 // Access looks up addr, filling on miss. It returns whether it hit.
 func (c *Cache) Access(addr uint64) bool {
 	c.Accesses++
 	b := c.block(addr)
-	set := int(b % uint64(c.sets))
-	base := set * c.ways
+	base := c.setBase(b)
+	tags := c.tags[base : base+c.ways]
+	stamp := c.stamp[base : base+c.ways : base+c.ways]
 	c.clock++
-	for w := 0; w < c.ways; w++ {
-		if c.valid[base+w] && c.tags[base+w] == b {
-			c.stamp[base+w] = c.clock
+	for w := range tags {
+		if tags[w] == b {
+			stamp[w] = c.clock
 			return true
 		}
 	}
 	c.Misses++
-	victim := base
-	for w := 1; w < c.ways; w++ {
-		if !c.valid[base+w] {
-			victim = base + w
+	victim := 0
+	for w := 1; w < len(tags); w++ {
+		if tags[w] == invalidTag {
+			victim = w
 			break
 		}
-		if c.stamp[base+w] < c.stamp[victim] {
-			victim = base + w
+		if stamp[w] < stamp[victim] {
+			victim = w
 		}
 	}
-	c.tags[victim] = b
-	c.valid[victim] = true
-	c.stamp[victim] = c.clock
+	tags[victim] = b
+	stamp[victim] = c.clock
 	return false
 }
 
 // Probe reports whether addr is present without changing any state.
 func (c *Cache) Probe(addr uint64) bool {
 	b := c.block(addr)
-	base := int(b%uint64(c.sets)) * c.ways
+	base := c.setBase(b)
 	for w := 0; w < c.ways; w++ {
-		if c.valid[base+w] && c.tags[base+w] == b {
+		if c.tags[base+w] == b {
 			return true
 		}
 	}

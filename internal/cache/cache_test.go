@@ -82,8 +82,8 @@ func TestNoDuplicateBlocksProperty(t *testing.T) {
 		c.Access(uint64(r.Intn(1 << 14)))
 	}
 	seen := map[uint64]bool{}
-	for i, v := range c.valid {
-		if !v {
+	for i, s := range c.stamp {
+		if s == 0 { // never filled
 			continue
 		}
 		if seen[c.tags[i]] {

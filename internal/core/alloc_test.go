@@ -1,0 +1,42 @@
+package core_test
+
+import (
+	"runtime"
+	"testing"
+
+	"thermometer/internal/core"
+	"thermometer/internal/workload"
+)
+
+// countAllocs returns the exact number of heap allocations fn performs.
+func countAllocs(fn func()) uint64 {
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	fn()
+	runtime.ReadMemStats(&after)
+	return after.Mallocs - before.Mallocs
+}
+
+// TestRunSteadyStateDoesNotAllocate pins the unobserved record loop at zero
+// allocations: core.Run allocates only during setup (structures sized from
+// the config), so its allocation count must be independent of trace length.
+// Simulating 4× the records with the same configuration must cost exactly
+// the same number of allocations.
+func TestRunSteadyStateDoesNotAllocate(t *testing.T) {
+	app, _ := workload.App(workload.AppNames()[0])
+	long := app.ScaleLength(1, 16).Generate(0)
+	short := long.Slice(0, long.Len()/4)
+	// Precompute the cached access streams so neither run pays the one-time
+	// oracle pass inside the measured region.
+	long.AccessStream()
+	short.AccessStream()
+
+	cfg := core.DefaultConfig()
+	allocsShort := countAllocs(func() { core.Run(short, cfg) })
+	allocsLong := countAllocs(func() { core.Run(long, cfg) })
+	if allocsLong != allocsShort {
+		t.Fatalf("allocation count grows with trace length: %d records -> %d allocs, %d records -> %d allocs",
+			short.Len(), allocsShort, long.Len(), allocsLong)
+	}
+}

@@ -1,0 +1,243 @@
+// Golden-equivalence tests for the full timing simulation: every policy is
+// run through core.Run under the configuration variants the ISSUE names
+// (base, hints, zero-warmup, two-level, partitioned, prefetching, observed)
+// and the complete Result — cycle counts, stall attribution, BTB stats,
+// policy telemetry, and the observer's JSON/CSV artifacts — is fingerprinted
+// against a checked-in golden file.
+//
+// The goldens were generated from the pre-SoA simulator; they pin the
+// restructured core (SoA BTB, devirtualized dispatch, specialized record
+// loops, fill ring) to byte-identical results. Regenerate with:
+//
+//	go test ./internal/core -run TestGoldenCore -update-golden
+package core_test
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+
+	"thermometer/internal/btb"
+	"thermometer/internal/core"
+	"thermometer/internal/policy"
+	"thermometer/internal/prefetch"
+	"thermometer/internal/profile"
+	"thermometer/internal/telemetry"
+	"thermometer/internal/workload"
+)
+
+var updateCoreGolden = flag.Bool("update-golden", false, "rewrite the core golden file")
+
+// coreFingerprint captures every externally visible number a simulation
+// produces. Struct equality (all fields comparable) is the pass criterion.
+type coreFingerprint struct {
+	Instructions     uint64    `json:"instructions"`
+	Cycles           uint64    `json:"cycles"`
+	BTB              btb.Stats `json:"btb"`
+	PrefetchFills    uint64    `json:"prefetch_fills"`
+	BTBMissRedirects uint64    `json:"btb_miss_redirects"`
+	DirLookups       uint64    `json:"dir_lookups"`
+	DirMispredicts   uint64    `json:"dir_mispredicts"`
+	RASMispredicts   uint64    `json:"ras_mispredicts"`
+	IBTBMispredicts  uint64    `json:"ibtb_mispredicts"`
+	RedirectStall    uint64    `json:"redirect_stall"`
+	ICacheStall      uint64    `json:"icache_stall"`
+	DataStall        uint64    `json:"data_stall"`
+	StallByLevel     [4]uint64 `json:"stall_by_level"`
+	L2iMPKI          float64   `json:"l2i_mpki"`
+	InstrL1Misses    uint64    `json:"instr_l1_misses"`
+	InstrL2Misses    uint64    `json:"instr_l2_misses"`
+	InstrLLCMisses   uint64    `json:"instr_llc_misses"`
+	// PolicyCounters flattens policy telemetry (thermometer coverage, SRRIP
+	// aging rounds, ...) into a deterministic string.
+	PolicyCounters string `json:"policy_counters,omitempty"`
+	// TelemetrySHA256 hashes the observer's JSON report + epoch CSV for the
+	// observed variant (empty otherwise).
+	TelemetrySHA256 string `json:"telemetry_sha256,omitempty"`
+}
+
+var goldenCorePolicies = []struct {
+	name string
+	mk   func() btb.Policy
+}{
+	{"lru", func() btb.Policy { return policy.NewLRU() }},
+	{"random", func() btb.Policy { return policy.NewRandom() }},
+	{"srrip", func() btb.Policy { return policy.NewSRRIP() }},
+	{"ghrp", func() btb.Policy { return policy.NewGHRP() }},
+	{"hawkeye", func() btb.Policy { return policy.NewHawkeye() }},
+	{"opt", func() btb.Policy { return policy.NewOPT() }},
+	{"thermometer", func() btb.Policy { return policy.NewThermometer() }},
+	{"thermometer-nobypass", func() btb.Policy { return policy.NewThermometerNoBypass() }},
+	{"holistic", func() btb.Policy { return policy.NewHolisticOnly() }},
+	{"transient", func() btb.Policy { return policy.NewTransientOnly() }},
+}
+
+func fingerprintResult(r *core.Result, telemetrySHA string) coreFingerprint {
+	fp := coreFingerprint{
+		Instructions:     r.Instructions,
+		Cycles:           r.Cycles,
+		BTB:              r.BTB,
+		PrefetchFills:    r.PrefetchFills,
+		BTBMissRedirects: r.BTBMissRedirects,
+		DirLookups:       r.DirLookups,
+		DirMispredicts:   r.DirMispredicts,
+		RASMispredicts:   r.RASMispredicts,
+		IBTBMispredicts:  r.IBTBMispredicts,
+		RedirectStall:    r.RedirectStall,
+		ICacheStall:      r.ICacheStall,
+		DataStall:        r.DataStall,
+		StallByLevel:     r.ICacheStallByLevel,
+		L2iMPKI:          r.L2iMPKI,
+		InstrL1Misses:    r.InstrL1Misses,
+		InstrL2Misses:    r.InstrL2Misses,
+		InstrLLCMisses:   r.InstrLLCMisses,
+		TelemetrySHA256:  telemetrySHA,
+	}
+	if inst, ok := r.Policy.(policy.Instrumented); ok {
+		counters := inst.TelemetryCounters()
+		keys := make([]string, 0, len(counters))
+		for k := range counters {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		var buf bytes.Buffer
+		for _, k := range keys {
+			fmt.Fprintf(&buf, "%s=%d;", k, counters[k])
+		}
+		fp.PolicyCounters = buf.String()
+	}
+	return fp
+}
+
+func TestGoldenCore(t *testing.T) {
+	spec, ok := workload.App(workload.AppNames()[0])
+	if !ok {
+		t.Fatal("no workloads registered")
+	}
+	tr := spec.ScaleLength(1, 20).Generate(0)
+	hints, _, err := profile.ProfileTrace(tr, 8192, 4, profile.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	type variant struct {
+		name string
+		cfg  func() core.Config
+		obs  bool
+	}
+	variants := []variant{
+		{"base", func() core.Config { return core.DefaultConfig() }, false},
+		{"hints", func() core.Config {
+			cfg := core.DefaultConfig()
+			cfg.Hints = hints
+			return cfg
+		}, false},
+		{"warmup0", func() core.Config {
+			cfg := core.DefaultConfig()
+			cfg.Hints = hints
+			cfg.WarmupFrac = 0
+			return cfg
+		}, false},
+		{"twolevel", func() core.Config {
+			cfg := core.DefaultConfig()
+			cfg.Hints = hints
+			cfg.TwoLevelBTB = core.DefaultTwoLevelBTB()
+			return cfg
+		}, false},
+		{"shotgun", func() core.Config {
+			cfg := core.DefaultConfig()
+			cfg.Hints = hints
+			cfg.ShotgunPartition = true
+			return cfg
+		}, false},
+		{"prefetch", func() core.Config {
+			cfg := core.DefaultConfig()
+			cfg.Hints = hints
+			cfg.Prefetcher = prefetch.NewConfluence(core.BuildMeta(tr.AccessStream()))
+			return cfg
+		}, false},
+		{"observed", func() core.Config {
+			cfg := core.DefaultConfig()
+			cfg.Hints = hints
+			return cfg
+		}, true},
+	}
+
+	got := make(map[string]coreFingerprint)
+	for _, p := range goldenCorePolicies {
+		for _, v := range variants {
+			cfg := v.cfg()
+			mk := p.mk
+			cfg.NewPolicy = func() btb.Policy { return mk() }
+			telemetrySHA := ""
+			var obs *telemetry.Observer
+			if v.obs {
+				obs = telemetry.New(telemetry.Options{EpochInterval: 5000, EventCap: 1 << 12})
+				cfg.Observer = obs
+			}
+			r := core.Run(tr, cfg)
+			if v.obs {
+				var j bytes.Buffer
+				if err := obs.WriteJSON(&j, map[string]string{"trace": tr.Name, "test": "golden"}); err != nil {
+					t.Fatalf("%s/%s: telemetry JSON: %v", p.name, v.name, err)
+				}
+				var c bytes.Buffer
+				if err := obs.Epochs.WriteCSV(&c); err != nil {
+					t.Fatalf("%s/%s: epoch CSV: %v", p.name, v.name, err)
+				}
+				h := sha256.New()
+				h.Write(j.Bytes())
+				h.Write(c.Bytes())
+				telemetrySHA = hex.EncodeToString(h.Sum(nil))
+			}
+			got[p.name+"/"+v.name] = fingerprintResult(r, telemetrySHA)
+		}
+	}
+
+	path := filepath.Join("testdata", "golden_core.json")
+	gotJSON, err := json.MarshalIndent(got, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotJSON = append(gotJSON, '\n')
+	if *updateCoreGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, gotJSON, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s (%d configurations)", path, len(got))
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update-golden to create): %v", err)
+	}
+	var wantMap map[string]coreFingerprint
+	if err := json.Unmarshal(want, &wantMap); err != nil {
+		t.Fatalf("corrupt golden file: %v", err)
+	}
+	for k, w := range wantMap {
+		g, ok := got[k]
+		if !ok {
+			t.Errorf("%s: configuration missing from this run", k)
+			continue
+		}
+		if g != w {
+			t.Errorf("%s: simulation diverged from golden\n got:  %+v\n want: %+v", k, g, w)
+		}
+	}
+	for k := range got {
+		if _, ok := wantMap[k]; !ok {
+			t.Errorf("%s: configuration missing from golden file (run -update-golden)", k)
+		}
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"thermometer/internal/btb"
 	"thermometer/internal/cache"
 	"thermometer/internal/policy"
+	"thermometer/internal/profile"
 	"thermometer/internal/trace"
 	"thermometer/internal/xrand"
 )
@@ -93,6 +94,105 @@ func (bk *btbBank) stats() btb.Stats {
 	return s
 }
 
+// pendingFill is one prefetcher-inserted entry waiting out the fill delay.
+type pendingFill struct {
+	avail  int
+	pc     uint64
+	target uint64
+	typ    trace.BranchType
+}
+
+// fillRing is a reusable FIFO of pending prefetch fills. Because every push
+// carries avail = curIdx + PrefetchDelay and curIdx never decreases, avail
+// values are monotonically nondecreasing in push order — so the fills ready
+// at any moment are exactly a prefix of the queue, and a ring-buffer
+// prefix-drain is equivalent to the order-preserving in-place filter it
+// replaces. The ring grows when full but is reused across the whole run
+// (and across runner jobs via the sim struct), instead of the append-only
+// slice that previously grew without bound.
+type fillRing struct {
+	buf       []pendingFill
+	head, n   int
+	lastAvail int
+}
+
+func (r *fillRing) push(pf pendingFill) {
+	if pf.avail < r.lastAvail {
+		// The prefix-drain below is only valid while avail is monotone;
+		// a regression means the fill pipeline model changed shape.
+		panic("core: prefetch fill availability regressed; ring drain order broken")
+	}
+	r.lastAvail = pf.avail
+	if r.n == len(r.buf) {
+		grown := make([]pendingFill, max(4*len(r.buf), 64))
+		for i := 0; i < r.n; i++ {
+			grown[i] = r.buf[(r.head+i)%len(r.buf)]
+		}
+		r.buf, r.head = grown, 0
+	}
+	r.buf[(r.head+r.n)%len(r.buf)] = pf
+	r.n++
+}
+
+func (r *fillRing) peek() *pendingFill { return &r.buf[r.head] }
+
+func (r *fillRing) pop() pendingFill {
+	pf := r.buf[r.head]
+	r.head = (r.head + 1) % len(r.buf)
+	r.n--
+	return pf
+}
+
+// sim holds the complete state of one timing simulation. Loop-invariant
+// configuration (hint table, prefetcher, penalties, perfect-structure
+// flags) is hoisted into fields once at setup; the record loop comes in
+// specialized variants (observed/unobserved × prefetch/no-prefetch) so the
+// steady-state path checks none of it per access.
+type sim struct {
+	cfg *Config
+	res *Result
+
+	accesses []trace.Access
+	meta     *TraceMeta
+	hints    *profile.HintTable
+
+	bank     *btbBank
+	twoLevel *btb.TwoLevel
+	ibtb     *btb.IBTB
+	ras      *btb.RAS
+	hier     *cache.Hierarchy
+	pred     bpred.Predictor // nil under PerfectBP
+	obs      *observerState
+	loadRNG  *xrand.RNG
+
+	prefetcher Prefetcher
+	insertFn   InsertFunc // bound once; handed to the prefetcher per event
+	fills      fillRing
+
+	// Reusable request buffers: btb.Access never retains the request, so
+	// the demand and fill paths each recycle one instead of zeroing a
+	// fresh struct per record. demandReq.Prefetch stays false and its
+	// Temperature stays zero when no hint table is attached; fillReq is
+	// the mirror image for matured prefetch fills.
+	demandReq btb.Request
+	fillReq   btb.Request
+
+	width                    uint64
+	minLeadCapH, maxLeadCapH uint64
+	ftqInstrCap              uint64
+	leadH                    uint64
+	curIdx                   int
+
+	perfectBTB    bool
+	perfectICache bool
+	dataStalls    bool
+	execPenalty   int
+	decodePenalty int
+	prefetchDelay int
+	mlp           int
+	dataFootprint uint64
+}
+
 // Run simulates the trace under the configuration and returns the result.
 func Run(tr *trace.Trace, cfg Config) *Result {
 	if cfg.FetchWidth <= 0 || cfg.FTQInstrCap <= 0 {
@@ -133,10 +233,6 @@ func Run(tr *trace.Trace, cfg Config) *Result {
 		twoLevel = btb.NewTwoLevel(tl.L1Entries, tl.L1Ways, res.Policy,
 			tl.L2Entries, tl.L2Ways, newPolicy(), tl.BubbleCycles)
 	}
-	ibtb := btb.NewIBTB(cfg.IBTBEntries)
-	ras := btb.NewRAS(cfg.RASEntries)
-	hier := cache.NewHierarchy()
-	hier.Lat = cfg.Latencies
 
 	var pred bpred.Predictor
 	if !cfg.PerfectBP {
@@ -147,294 +243,79 @@ func Run(tr *trace.Trace, cfg Config) *Result {
 		}
 	}
 
-	// FDIP lead: cycles by which FDIP's prefetch of the next block
-	// precedes fetch's demand for it. Squashes reset it. Tracked in
-	// half-cycles: the BPU produces up to two block predictions per cycle
-	// (as in ChampSim's FDIP model), so while fetch consumes roughly one
-	// block per cycle the frontend gains ~half a cycle of lead per block,
-	// plus everything fetch spends stalled.
-	//
-	// The lead is capped by the FTQ: a full FTQ holds FTQInstrCap
-	// instructions, which cover FTQInstrCap×CPI cycles of fetch time — the
-	// slower the machine runs, the further (in cycles) a fixed FTQ lets
-	// FDIP reach ahead. The cap therefore tracks running CPI.
-	minLeadCapH := 2 * uint64(cfg.FTQInstrCap/cfg.FetchWidth)
-	maxLeadCapH := 8 * uint64(cfg.FTQInstrCap)
-	leadH := uint64(0)
-	leadCapH := func(cycles, instrs uint64) uint64 {
-		if instrs == 0 {
-			return minLeadCapH
-		}
-		c := 2 * uint64(cfg.FTQInstrCap) * cycles / instrs
-		if c < minLeadCapH {
-			return minLeadCapH
-		}
-		if c > maxLeadCapH {
-			return maxLeadCapH
-		}
-		return c
-	}
+	s := &sim{
+		cfg:      &cfg,
+		res:      res,
+		accesses: accesses,
+		meta:     meta,
+		hints:    cfg.Hints,
 
-	// Prefetch insert callback (closes over the running access index).
-	// Fills are delayed by PrefetchDelay demand accesses to model the fill
-	// pipeline relative to the run-ahead BPU.
-	curIdx := 0
-	type pendingFill struct {
-		avail  int
-		pc     uint64
-		target uint64
-		typ    trace.BranchType
+		bank:     bank,
+		twoLevel: twoLevel,
+		ibtb:     btb.NewIBTB(cfg.IBTBEntries),
+		ras:      btb.NewRAS(cfg.RASEntries),
+		hier:     cache.NewHierarchy(),
+		pred:     pred,
+		loadRNG:  xrand.New(0xDA7A ^ uint64(len(tr.Records))),
+
+		prefetcher: cfg.Prefetcher,
+
+		width: uint64(cfg.FetchWidth),
+		// FDIP lead: cycles by which FDIP's prefetch of the next block
+		// precedes fetch's demand for it. Squashes reset it. Tracked in
+		// half-cycles: the BPU produces up to two block predictions per
+		// cycle (as in ChampSim's FDIP model), so while fetch consumes
+		// roughly one block per cycle the frontend gains ~half a cycle of
+		// lead per block, plus everything fetch spends stalled.
+		//
+		// The lead is capped by the FTQ: a full FTQ holds FTQInstrCap
+		// instructions, which cover FTQInstrCap×CPI cycles of fetch time —
+		// the slower the machine runs, the further (in cycles) a fixed FTQ
+		// lets FDIP reach ahead. The cap therefore tracks running CPI.
+		minLeadCapH: 2 * uint64(cfg.FTQInstrCap/cfg.FetchWidth),
+		maxLeadCapH: 8 * uint64(cfg.FTQInstrCap),
+		ftqInstrCap: uint64(cfg.FTQInstrCap),
+
+		perfectBTB:    cfg.PerfectBTB,
+		perfectICache: cfg.PerfectICache,
+		dataStalls:    cfg.DataStalls,
+		execPenalty:   cfg.ExecRedirectPenalty,
+		decodePenalty: cfg.DecodeRedirectPenalty,
+		prefetchDelay: cfg.PrefetchDelay,
+		mlp:           cfg.MLP,
+		dataFootprint: cfg.DataFootprint,
 	}
-	var pending []pendingFill
-	applyFill := func(pf pendingFill) {
-		b := bank.pick(pf.typ)
-		req := btb.Request{
-			PC: pf.pc, Target: pf.target, Type: pf.typ,
-			Prefetch: true, NextUse: trace.NoNextUse, Index: curIdx,
-		}
-		if meta != nil {
-			req.NextUse = meta.NextUseAfter(pf.pc, curIdx)
-		}
-		if cfg.Hints != nil {
-			req.Temperature = cfg.Hints.Lookup(pf.pc)
-		}
-		if b.PrefetchFill(&req) {
-			res.PrefetchFills++
-		}
-	}
-	insert := func(pc, target uint64, typ trace.BranchType) {
-		pending = append(pending, pendingFill{avail: curIdx + cfg.PrefetchDelay, pc: pc, target: target, typ: typ})
-	}
-	drainFills := func() {
-		n := 0
-		for _, pf := range pending {
-			if pf.avail <= curIdx {
-				applyFill(pf)
-			} else {
-				pending[n] = pf
-				n++
-			}
-		}
-		pending = pending[:n]
-	}
-	touchLine := func(blk uint64) {
-		if cfg.Prefetcher != nil {
-			cfg.Prefetcher.OnLineFill(blk, insert)
+	s.hier.Lat = cfg.Latencies
+	if s.prefetcher != nil {
+		// Bind the insert callback once: fills are delayed by PrefetchDelay
+		// demand accesses to model the fill pipeline relative to the
+		// run-ahead BPU.
+		s.insertFn = func(pc, target uint64, typ trace.BranchType) {
+			s.fills.push(pendingFill{avail: s.curIdx + s.prefetchDelay, pc: pc, target: target, typ: typ})
 		}
 	}
 
-	loadRNG := xrand.New(0xDA7A ^ uint64(len(tr.Records)))
-	width := uint64(cfg.FetchWidth)
-
-	// Telemetry attachment: obs is nil for the common uninstrumented run,
-	// and every instrumentation point below hides behind that one check.
-	var obs *observerState
+	// Telemetry attachment: obs is nil for the common uninstrumented run;
+	// the unobserved loop variants never consult it.
 	if cfg.Observer != nil {
-		obs = newObserverState(cfg.Observer, res, bank, twoLevel)
+		s.obs = newObserverState(cfg.Observer, res, bank, twoLevel)
 	}
 	if cfg.Attribution != nil {
-		attachAttribution(&cfg, res, bank, obs)
+		attachAttribution(&cfg, res, bank, s.obs)
 	}
 
 	recs := tr.Records
 	warmupEnd := int(cfg.WarmupFrac * float64(len(recs)))
-	for i := range recs {
-		if i == warmupEnd {
-			// End of warmup: all structures stay trained, statistics and
-			// the clock restart.
-			saved := *res
-			*res = Result{Name: saved.Name, Policy: saved.Policy}
-			hier.InstrFetches, hier.InstrL1Misses, hier.InstrL2Misses, hier.InstrLLCMisses = 0, 0, 0, 0
-			bank.main.ResetStats()
-			if bank.cond != nil {
-				bank.cond.ResetStats()
-			}
-			if twoLevel != nil {
-				twoLevel.L1.ResetStats()
-				twoLevel.L2.ResetStats()
-				twoLevel.Promotions, twoLevel.Demotions, twoLevel.L2Bubbles = 0, 0, 0
-			}
-			ras.Pushes, ras.Pops, ras.Overflows, ras.Underflows = 0, 0, 0, 0
-			ibtb.Hits, ibtb.Misses = 0, 0
-			if obs != nil {
-				obs.onWarmupReset()
-			}
-			if cfg.Attribution != nil {
-				cfg.Attribution.OnWarmupReset()
-			}
-		}
-		r := &recs[i]
-		n := uint64(r.BlockLen) + 1 // block + the branch itself
-		res.Instructions += n
-
-		// --- Direction prediction (conditionals). ---
-		dirMiss := false
-		if r.Type.IsConditional() && !cfg.PerfectBP {
-			res.DirLookups++
-			if pred.Predict(r.PC) != r.Taken {
-				dirMiss = true
-				res.DirMispredicts++
-			}
-			pred.Update(r.PC, r.Taken)
-		}
-
-		// --- BTB / IBTB / RAS for taken branches. ---
-		btbMiss := false
-		targetMiss := false
-		var btbBubble uint64
-		if r.Taken {
-			switch r.Type {
-			case trace.Call:
-				ras.Push(r.PC + 5)
-			case trace.IndirectCall:
-				ras.Push(r.PC + 6)
-			case trace.Return:
-				if addr, ok := ras.Pop(); !ok || addr != r.Target {
-					targetMiss = true
-					res.RASMispredicts++
-				}
-			default:
-				// Direct jumps and conditional branches don't touch the RAS.
-			}
-			if r.Type == trace.IndirectJump || r.Type == trace.IndirectCall {
-				if !ibtb.Update(r.PC, r.Target) {
-					targetMiss = true
-					res.IBTBMispredicts++
-				}
-			}
-			if !cfg.PerfectBTB {
-				if cfg.Prefetcher != nil {
-					drainFills()
-				}
-				req := btb.Request{
-					PC: r.PC, Target: r.Target, Type: r.Type,
-					NextUse: accesses[curIdx].NextUse, Index: curIdx,
-				}
-				if cfg.Hints != nil {
-					req.Temperature = cfg.Hints.Lookup(r.PC)
-				}
-				hit := false
-				if twoLevel != nil {
-					tr2 := twoLevel.Access(&req)
-					hit = tr2.Hit
-					btbBubble = uint64(tr2.Bubble)
-				} else {
-					ar := bank.pick(r.Type).Access(&req)
-					hit = ar.Hit
-				}
-				btbMiss = !hit
-				if cfg.Prefetcher != nil {
-					cfg.Prefetcher.OnBTBAccess(r.PC, r.Target, hit, insert)
-				}
-			}
-			curIdx++
-		}
-
-		// --- Redirect penalty. ---
-		penalty := 0
-		if dirMiss {
-			penalty = cfg.ExecRedirectPenalty
-		}
-		if btbMiss {
-			res.BTBMissRedirects++
-			// Unconditional direct branches and calls are exposed at
-			// decode. A conditional taken branch with no BTB entry sends
-			// the frontend down the (plausible) fall-through path, so the
-			// miss is only discovered when the branch executes; indirect
-			// targets likewise resolve at execute.
-			p := cfg.ExecRedirectPenalty
-			if r.Type == trace.UncondDirect || r.Type == trace.Call || r.Type == trace.Return {
-				p = cfg.DecodeRedirectPenalty
-			}
-			if p > penalty {
-				penalty = p
-			}
-		}
-		if targetMiss && cfg.ExecRedirectPenalty > penalty {
-			penalty = cfg.ExecRedirectPenalty
-		}
-		if penalty > 0 {
-			if obs != nil {
-				obs.onRedirect(btbMiss, dirMiss, targetMiss, r.PC, penalty)
-			}
-			res.RedirectStall += uint64(penalty)
-			// FTQ squash: FDIP loses its accumulated run-ahead. The BPU
-			// restarts on the corrected path at resolution, so the
-			// pipeline-refill bubble itself becomes the new head start —
-			// the target block's instruction fetch overlaps the redirect
-			// penalty rather than serializing behind it.
-			leadH = 2 * uint64(penalty)
-		}
-
-		// --- Instruction fetch for the block following this branch. ---
-		var stall uint64
-		if !cfg.PerfectICache {
-			start := r.PC + 4
-			if r.Taken {
-				start = r.Target
-			}
-			span := 4 * n
-			first, last := start>>6, (start+span)>>6
-			if last-first > 7 {
-				last = first + 7
-			}
-			var worst int
-			worstLvl := cache.L1
-			for blk := first; blk <= last; blk++ {
-				lvl, lat := hier.FetchInstr(blk << 6)
-				touchLine(blk)
-				if lat > worst {
-					worst = lat
-					worstLvl = lvl
-				}
-			}
-			if lead := leadH / 2; uint64(worst) > lead {
-				stall = uint64(worst) - lead
-				res.ICacheStall += stall
-				res.ICacheStallByLevel[worstLvl] += stall
-			}
-		}
-
-		// --- Backend data stalls. ---
-		var dataStall uint64
-		if cfg.DataStalls {
-			loads := int(n) / 6
-			for j := 0; j < loads; j++ {
-				roll := loadRNG.Float64()
-				var addr uint64
-				switch {
-				case roll < 0.85: // stack/top-of-heap working set
-					addr = loadRNG.Uint64n(16 << 10)
-				case roll < 0.99: // mid-size structures
-					addr = (1 << 20) + loadRNG.Uint64n(128<<10)
-				default: // big-data footprint
-					addr = (8 << 20) + loadRNG.Uint64n(cfg.DataFootprint)
-				}
-				_, lat := hier.LoadData(addr)
-				if lat > 0 && cfg.MLP > 0 {
-					dataStall += uint64(lat / cfg.MLP)
-				}
-			}
-			res.DataStall += dataStall
-		}
-
-		// --- Advance the clock. ---
-		issue := (n + width - 1) / width
-		res.Cycles += issue + uint64(penalty) + stall + dataStall + btbBubble
-		res.RedirectStall += btbBubble
-
-		// The decoupled BPU runs ahead while fetch issues and stalls; half
-		// a cycle is consumed producing this block's prediction. (The
-		// redirect penalty is already accounted as the post-squash head
-		// start above.)
-		leadH += 2*(issue+stall+dataStall) - 1
-		if cap := leadCapH(res.Cycles, res.Instructions); leadH > cap {
-			leadH = cap
-		}
-
-		if obs != nil {
-			obs.afterBlock(leadH / 2)
-		}
+	if warmupEnd >= 0 && warmupEnd < len(recs) {
+		// Equivalent to resetting when the record index reaches warmupEnd
+		// (including warmupEnd == 0, where the reset fires before the
+		// first record): simulate the warmup prefix, reset statistics with
+		// all structures still trained, then simulate the rest.
+		s.runRecords(recs[:warmupEnd])
+		s.warmupReset()
+		s.runRecords(recs[warmupEnd:])
+	} else {
+		s.runRecords(recs)
 	}
 
 	res.BTB = bank.stats()
@@ -444,12 +325,462 @@ func Run(tr *trace.Trace, cfg Config) *Result {
 		res.BTB.Hits = l1.Hits + twoLevel.Promotions
 		res.BTB.Misses = twoLevel.TrueMisses()
 	}
-	res.L2iMPKI = hier.L2iMPKI(res.Instructions)
-	res.InstrL1Misses = hier.InstrL1Misses
-	res.InstrL2Misses = hier.InstrL2Misses
-	res.InstrLLCMisses = hier.InstrLLCMisses
-	if obs != nil {
-		obs.finish()
+	res.L2iMPKI = s.hier.L2iMPKI(res.Instructions)
+	res.InstrL1Misses = s.hier.InstrL1Misses
+	res.InstrL2Misses = s.hier.InstrL2Misses
+	res.InstrLLCMisses = s.hier.InstrLLCMisses
+	if s.obs != nil {
+		s.obs.finish()
 	}
 	return res
+}
+
+// runRecords dispatches to the loop variant specialized for this run's
+// instrumentation. The split hoists the observer and prefetcher checks out
+// of the per-record path entirely: the fast variant's body mentions
+// neither.
+func (s *sim) runRecords(recs []trace.Record) {
+	switch {
+	case s.obs == nil && s.prefetcher == nil:
+		s.loopFast(recs)
+	case s.obs == nil:
+		s.loopPrefetch(recs)
+	case s.prefetcher == nil:
+		s.loopObserved(recs)
+	default:
+		s.loopFull(recs)
+	}
+}
+
+// warmupReset ends warmup: all structures stay trained, statistics and the
+// clock restart.
+func (s *sim) warmupReset() {
+	res := s.res
+	saved := *res
+	*res = Result{Name: saved.Name, Policy: saved.Policy}
+	s.hier.InstrFetches, s.hier.InstrL1Misses, s.hier.InstrL2Misses, s.hier.InstrLLCMisses = 0, 0, 0, 0
+	s.bank.main.ResetStats()
+	if s.bank.cond != nil {
+		s.bank.cond.ResetStats()
+	}
+	if s.twoLevel != nil {
+		s.twoLevel.L1.ResetStats()
+		s.twoLevel.L2.ResetStats()
+		s.twoLevel.Promotions, s.twoLevel.Demotions, s.twoLevel.L2Bubbles = 0, 0, 0
+	}
+	s.ras.Pushes, s.ras.Pops, s.ras.Overflows, s.ras.Underflows = 0, 0, 0, 0
+	s.ibtb.Hits, s.ibtb.Misses = 0, 0
+	if s.obs != nil {
+		s.obs.onWarmupReset()
+	}
+	if s.cfg.Attribution != nil {
+		s.cfg.Attribution.OnWarmupReset()
+	}
+}
+
+// predictDirection runs the direction predictor for conditional branches
+// and reports a mispredict. s.pred is nil under PerfectBP.
+func (s *sim) predictDirection(r *trace.Record) bool {
+	if !r.Type.IsConditional() || s.pred == nil {
+		return false
+	}
+	s.res.DirLookups++
+	dirMiss := s.pred.Predict(r.PC) != r.Taken
+	if dirMiss {
+		s.res.DirMispredicts++
+	}
+	s.pred.Update(r.PC, r.Taken)
+	return dirMiss
+}
+
+// targetStructures runs the RAS and IBTB for a taken branch and reports a
+// target mispredict.
+func (s *sim) targetStructures(r *trace.Record) bool {
+	targetMiss := false
+	switch r.Type {
+	case trace.Call:
+		s.ras.Push(r.PC + 5)
+	case trace.IndirectCall:
+		s.ras.Push(r.PC + 6)
+	case trace.Return:
+		if addr, ok := s.ras.Pop(); !ok || addr != r.Target {
+			targetMiss = true
+			s.res.RASMispredicts++
+		}
+	default:
+		// Direct jumps and conditional branches don't touch the RAS.
+	}
+	if r.Type == trace.IndirectJump || r.Type == trace.IndirectCall {
+		if !s.ibtb.Update(r.PC, r.Target) {
+			targetMiss = true
+			s.res.IBTBMispredicts++
+		}
+	}
+	return targetMiss
+}
+
+// btbAccess performs the demand BTB access for a taken branch through
+// the reusable demand request (btb.Access never retains it). Every field
+// that varies per access is written here; Prefetch is false for the
+// request's whole lifetime and Temperature is only ever nonzero when a
+// hint table is attached (in which case it is overwritten every call).
+func (s *sim) btbAccess(r *trace.Record) (hit bool, bubble uint64) {
+	req := &s.demandReq
+	req.PC, req.Target, req.Type = r.PC, r.Target, r.Type
+	req.NextUse, req.Index = s.accesses[s.curIdx].NextUse, s.curIdx
+	if s.hints != nil {
+		req.Temperature = s.hints.Lookup(r.PC)
+	}
+	if s.twoLevel != nil {
+		tr2 := s.twoLevel.Access(req)
+		return tr2.Hit, uint64(tr2.Bubble)
+	}
+	ar := s.bank.pick(r.Type).Access(req)
+	return ar.Hit, 0
+}
+
+// applyFill installs one matured prefetch fill through the BTB's policy.
+// The meta/hints presence checks were hoisted to setup: meta is non-nil
+// whenever a prefetcher is configured (fills only mature in the prefetch
+// variants), so only the hint-table branch remains here.
+func (s *sim) applyFill(pf pendingFill) {
+	req := &s.fillReq
+	req.PC, req.Target, req.Type = pf.pc, pf.target, pf.typ
+	req.Prefetch, req.Index = true, s.curIdx
+	req.NextUse = trace.NoNextUse
+	if s.meta != nil {
+		req.NextUse = s.meta.NextUseAfter(pf.pc, s.curIdx)
+	}
+	if s.hints != nil {
+		req.Temperature = s.hints.Lookup(pf.pc)
+	}
+	if s.bank.pick(pf.typ).PrefetchFill(req) {
+		s.res.PrefetchFills++
+	}
+}
+
+// drainFills applies every pending fill whose delay has elapsed. Monotone
+// avail (asserted on push) makes the ready set a queue prefix.
+func (s *sim) drainFills() {
+	for s.fills.n > 0 && s.fills.peek().avail <= s.curIdx {
+		s.applyFill(s.fills.pop())
+	}
+}
+
+// redirectPenalty combines the redirect sources into the block's refill
+// penalty.
+func (s *sim) redirectPenalty(r *trace.Record, dirMiss, btbMiss, targetMiss bool) int {
+	penalty := 0
+	if dirMiss {
+		penalty = s.execPenalty
+	}
+	if btbMiss {
+		s.res.BTBMissRedirects++
+		// Unconditional direct branches and calls are exposed at
+		// decode. A conditional taken branch with no BTB entry sends
+		// the frontend down the (plausible) fall-through path, so the
+		// miss is only discovered when the branch executes; indirect
+		// targets likewise resolve at execute.
+		p := s.execPenalty
+		if r.Type == trace.UncondDirect || r.Type == trace.Call || r.Type == trace.Return {
+			p = s.decodePenalty
+		}
+		if p > penalty {
+			penalty = p
+		}
+	}
+	if targetMiss && s.execPenalty > penalty {
+		penalty = s.execPenalty
+	}
+	return penalty
+}
+
+// applyPenalty charges a redirect: stall accounting plus the FTQ squash.
+func (s *sim) applyPenalty(penalty int) {
+	s.res.RedirectStall += uint64(penalty)
+	// FTQ squash: FDIP loses its accumulated run-ahead. The BPU
+	// restarts on the corrected path at resolution, so the
+	// pipeline-refill bubble itself becomes the new head start —
+	// the target block's instruction fetch overlaps the redirect
+	// penalty rather than serializing behind it.
+	s.leadH = 2 * uint64(penalty)
+}
+
+// icacheWalk fetches the instruction lines of the block following this
+// branch and returns the fetch stall not hidden by FDIP lead. prefetching
+// selects the variant that feeds line fills to the BTB prefetcher.
+func (s *sim) icacheWalk(r *trace.Record, n uint64, prefetching bool) uint64 {
+	start := r.PC + 4
+	if r.Taken {
+		start = r.Target
+	}
+	span := 4 * n
+	first, last := start>>6, (start+span)>>6
+	if last-first > 7 {
+		last = first + 7
+	}
+	var worst int
+	worstLvl := cache.L1
+	for blk := first; blk <= last; blk++ {
+		lvl, lat := s.hier.FetchInstr(blk << 6)
+		if prefetching {
+			s.prefetcher.OnLineFill(blk, s.insertFn)
+		}
+		if lat > worst {
+			worst = lat
+			worstLvl = lvl
+		}
+	}
+	var stall uint64
+	if lead := s.leadH / 2; uint64(worst) > lead {
+		stall = uint64(worst) - lead
+		s.res.ICacheStall += stall
+		s.res.ICacheStallByLevel[worstLvl] += stall
+	}
+	return stall
+}
+
+// dataStallFor models backend data stalls for a block of n instructions.
+func (s *sim) dataStallFor(n uint64) uint64 {
+	var dataStall uint64
+	loads := int(n) / 6
+	for j := 0; j < loads; j++ {
+		roll := s.loadRNG.Float64()
+		var addr uint64
+		switch {
+		case roll < 0.85: // stack/top-of-heap working set
+			addr = s.loadRNG.Uint64n(16 << 10)
+		case roll < 0.99: // mid-size structures
+			addr = (1 << 20) + s.loadRNG.Uint64n(128<<10)
+		default: // big-data footprint
+			addr = (8 << 20) + s.loadRNG.Uint64n(s.dataFootprint)
+		}
+		_, lat := s.hier.LoadData(addr)
+		if lat > 0 && s.mlp > 0 {
+			dataStall += uint64(lat / s.mlp)
+		}
+	}
+	s.res.DataStall += dataStall
+	return dataStall
+}
+
+// advanceClock issues the block and rolls the FDIP lead forward.
+func (s *sim) advanceClock(n uint64, penalty int, stall, dataStall, btbBubble uint64) {
+	issue := (n + s.width - 1) / s.width
+	s.res.Cycles += issue + uint64(penalty) + stall + dataStall + btbBubble
+	s.res.RedirectStall += btbBubble
+
+	// The decoupled BPU runs ahead while fetch issues and stalls; half
+	// a cycle is consumed producing this block's prediction. (The
+	// redirect penalty is already accounted as the post-squash head
+	// start above.)
+	s.leadH += 2*(issue+stall+dataStall) - 1
+	// leadCapH is at least minLeadCapH, so when the lead is under that
+	// floor no clamp can apply and the CPI division is skipped.
+	if s.leadH > s.minLeadCapH {
+		if cap := s.leadCapH(); s.leadH > cap {
+			s.leadH = cap
+		}
+	}
+}
+
+// leadCapH bounds the FDIP lead by the FTQ's reach at the running CPI.
+func (s *sim) leadCapH() uint64 {
+	if s.res.Instructions == 0 {
+		return s.minLeadCapH
+	}
+	c := 2 * s.ftqInstrCap * s.res.Cycles / s.res.Instructions
+	if c < s.minLeadCapH {
+		return s.minLeadCapH
+	}
+	if c > s.maxLeadCapH {
+		return s.maxLeadCapH
+	}
+	return c
+}
+
+// loopFast is the unobserved, non-prefetching record loop — the steady
+// state of every sweep and benchmark. Its body touches no optional
+// feature: no observer, no prefetcher, no pending-fill queue.
+func (s *sim) loopFast(recs []trace.Record) {
+	for i := range recs {
+		r := &recs[i]
+		n := uint64(r.BlockLen) + 1 // block + the branch itself
+		s.res.Instructions += n
+
+		dirMiss := s.predictDirection(r)
+
+		btbMiss := false
+		targetMiss := false
+		var btbBubble uint64
+		if r.Taken {
+			targetMiss = s.targetStructures(r)
+			if !s.perfectBTB {
+				hit, bubble := s.btbAccess(r)
+				btbMiss = !hit
+				btbBubble = bubble
+			}
+			s.curIdx++
+		}
+
+		penalty := s.redirectPenalty(r, dirMiss, btbMiss, targetMiss)
+		if penalty > 0 {
+			s.applyPenalty(penalty)
+		}
+
+		var stall uint64
+		if !s.perfectICache {
+			stall = s.icacheWalk(r, n, false)
+		}
+
+		var dataStall uint64
+		if s.dataStalls {
+			dataStall = s.dataStallFor(n)
+		}
+
+		s.advanceClock(n, penalty, stall, dataStall, btbBubble)
+	}
+}
+
+// loopPrefetch adds the BTB prefetcher hooks (fill draining, access
+// feedback, line-fill taps) to the fast loop.
+func (s *sim) loopPrefetch(recs []trace.Record) {
+	for i := range recs {
+		r := &recs[i]
+		n := uint64(r.BlockLen) + 1
+		s.res.Instructions += n
+
+		dirMiss := s.predictDirection(r)
+
+		btbMiss := false
+		targetMiss := false
+		var btbBubble uint64
+		if r.Taken {
+			targetMiss = s.targetStructures(r)
+			if !s.perfectBTB {
+				s.drainFills()
+				hit, bubble := s.btbAccess(r)
+				btbMiss = !hit
+				btbBubble = bubble
+				s.prefetcher.OnBTBAccess(r.PC, r.Target, !btbMiss, s.insertFn)
+			}
+			s.curIdx++
+		}
+
+		penalty := s.redirectPenalty(r, dirMiss, btbMiss, targetMiss)
+		if penalty > 0 {
+			s.applyPenalty(penalty)
+		}
+
+		var stall uint64
+		if !s.perfectICache {
+			stall = s.icacheWalk(r, n, true)
+		}
+
+		var dataStall uint64
+		if s.dataStalls {
+			dataStall = s.dataStallFor(n)
+		}
+
+		s.advanceClock(n, penalty, stall, dataStall, btbBubble)
+	}
+}
+
+// loopObserved adds the telemetry observer hooks to the fast loop.
+func (s *sim) loopObserved(recs []trace.Record) {
+	// runRecords only selects this variant with an observer attached; the
+	// loop body relies on that (one check here, not one per record).
+	if s.obs == nil {
+		panic("core: loopObserved selected without an observer")
+	}
+	for i := range recs {
+		r := &recs[i]
+		n := uint64(r.BlockLen) + 1
+		s.res.Instructions += n
+
+		dirMiss := s.predictDirection(r)
+
+		btbMiss := false
+		targetMiss := false
+		var btbBubble uint64
+		if r.Taken {
+			targetMiss = s.targetStructures(r)
+			if !s.perfectBTB {
+				hit, bubble := s.btbAccess(r)
+				btbMiss = !hit
+				btbBubble = bubble
+			}
+			s.curIdx++
+		}
+
+		penalty := s.redirectPenalty(r, dirMiss, btbMiss, targetMiss)
+		if penalty > 0 {
+			s.obs.onRedirect(btbMiss, dirMiss, targetMiss, r.PC, penalty)
+			s.applyPenalty(penalty)
+		}
+
+		var stall uint64
+		if !s.perfectICache {
+			stall = s.icacheWalk(r, n, false)
+		}
+
+		var dataStall uint64
+		if s.dataStalls {
+			dataStall = s.dataStallFor(n)
+		}
+
+		s.advanceClock(n, penalty, stall, dataStall, btbBubble)
+		s.obs.afterBlock(s.leadH / 2)
+	}
+}
+
+// loopFull runs with both the prefetcher and the observer attached, so it
+// combines loopPrefetch's fill hooks with loopObserved's telemetry hooks.
+func (s *sim) loopFull(recs []trace.Record) {
+	// runRecords only selects this variant with an observer attached; the
+	// loop body relies on that (one check here, not one per record).
+	if s.obs == nil {
+		panic("core: loopFull selected without an observer")
+	}
+	for i := range recs {
+		r := &recs[i]
+		n := uint64(r.BlockLen) + 1
+		s.res.Instructions += n
+
+		dirMiss := s.predictDirection(r)
+
+		btbMiss := false
+		targetMiss := false
+		var btbBubble uint64
+		if r.Taken {
+			targetMiss = s.targetStructures(r)
+			if !s.perfectBTB {
+				s.drainFills()
+				hit, bubble := s.btbAccess(r)
+				btbMiss = !hit
+				btbBubble = bubble
+				s.prefetcher.OnBTBAccess(r.PC, r.Target, !btbMiss, s.insertFn)
+			}
+			s.curIdx++
+		}
+
+		penalty := s.redirectPenalty(r, dirMiss, btbMiss, targetMiss)
+		if penalty > 0 {
+			s.obs.onRedirect(btbMiss, dirMiss, targetMiss, r.PC, penalty)
+			s.applyPenalty(penalty)
+		}
+
+		var stall uint64
+		if !s.perfectICache {
+			stall = s.icacheWalk(r, n, true)
+		}
+
+		var dataStall uint64
+		if s.dataStalls {
+			dataStall = s.dataStallFor(n)
+		}
+
+		s.advanceClock(n, penalty, stall, dataStall, btbBubble)
+		s.obs.afterBlock(s.leadH / 2)
+	}
 }

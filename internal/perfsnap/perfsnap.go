@@ -60,6 +60,30 @@ type Cell struct {
 	Score float64 `json:"score"`
 }
 
+// BlocksPerCalib returns the cell's machine-normalized throughput: blocks
+// simulated per calibration-loop-time (Blocks / Score). Unlike BlocksPerSec
+// it is comparable across machines, so absolute throughput floors are
+// expressed in this unit. Returns 0 when the score is unavailable.
+func (c *Cell) BlocksPerCalib() float64 {
+	if c.Score <= 0 {
+		return 0
+	}
+	return float64(c.Blocks) / c.Score
+}
+
+// MedianBlocksPerCalib returns the grid-wide median normalized throughput,
+// the quantity an absolute throughput floor gates on. Cells without a score
+// are excluded; 0 means no cell was scorable.
+func (s *Snapshot) MedianBlocksPerCalib() float64 {
+	th := make([]float64, 0, len(s.Cells))
+	for i := range s.Cells {
+		if v := s.Cells[i].BlocksPerCalib(); v > 0 {
+			th = append(th, v)
+		}
+	}
+	return Median(th)
+}
+
 // Snapshot is one BENCH_<n>.json document.
 type Snapshot struct {
 	Schema  int     `json:"schema"`

@@ -38,6 +38,24 @@ func TestMedian(t *testing.T) {
 	}
 }
 
+func TestBlocksPerCalib(t *testing.T) {
+	s := snap(100,
+		cell("lru", "kafka", 1000, 2e6, 1e6, 3e6),   // score 2e4 -> 0.05 blocks/calib
+		cell("lru", "mysql", 1000, 4e6, 4e6, 4e6),   // score 4e4 -> 0.025
+		cell("srrip", "kafka", 1000, 8e6, 8e6, 8e6), // score 8e4 -> 0.0125
+	)
+	if got := s.Cells[0].BlocksPerCalib(); got != 0.05 {
+		t.Fatalf("BlocksPerCalib = %v, want 0.05", got)
+	}
+	if got := s.MedianBlocksPerCalib(); got != 0.025 {
+		t.Fatalf("MedianBlocksPerCalib = %v, want 0.025", got)
+	}
+	var unscored Cell
+	if got := unscored.BlocksPerCalib(); got != 0 {
+		t.Fatalf("unscored BlocksPerCalib = %v, want 0", got)
+	}
+}
+
 func TestFinalizeDerivesAndSorts(t *testing.T) {
 	s := snap(100,
 		cell("srrip", "kafka", 1000, 2e6, 1e6, 3e6),

@@ -30,7 +30,9 @@ type Hawkeye struct {
 	samplers  map[int]*optgen
 	sampleLog int // sample sets where set % (1<<sampleLog) == 0
 
-	lru lruState
+	lru btb.LRUCore
+
+	averseScratch []int // scratch: averse candidate ways, reused per decision
 
 	// Decision counters for telemetry (see Instrumented).
 	AverseEvictions   uint64 // victims taken from the averse pool
@@ -67,30 +69,48 @@ func newOptgen(ways int) *optgen {
 // for first-in-window accesses, which carry no training signal.
 func (g *optgen) access(pc uint64) (hit, known bool) {
 	prev, seen := g.lastSeen[pc]
-	defer func() {
-		g.lastSeen[pc] = g.now
-		g.now++
-		g.occ[g.now%g.window] = 0
-		if g.now%g.window == 0 && len(g.lastSeen) > 4*g.window {
-			// Forget stale PCs so the map stays bounded.
-			for k, v := range g.lastSeen {
-				if g.now-v >= g.window {
-					delete(g.lastSeen, k)
-				}
+	hit, known = g.liveness(prev, seen)
+	// Epilogue (formerly deferred): advance the window and retire the
+	// quantum that just fell out of it.
+	g.lastSeen[pc] = g.now
+	g.now++
+	g.occ[g.now%g.window] = 0
+	if g.now%g.window == 0 && len(g.lastSeen) > 4*g.window {
+		// Forget stale PCs so the map stays bounded.
+		for k, v := range g.lastSeen {
+			if g.now-v >= g.window {
+				delete(g.lastSeen, k)
 			}
 		}
-	}()
+	}
+	return hit, known
+}
+
+// liveness decides OPT's verdict for an access whose previous occurrence
+// was at quantum prev. The occupancy walk keeps a wrapped index instead of
+// reducing the absolute quantum each step: the window spans at most
+// g.window quanta, so one conditional reset per step replaces two integer
+// divisions.
+func (g *optgen) liveness(prev int, seen bool) (hit, known bool) {
 	if !seen || g.now-prev >= g.window {
 		return false, false
 	}
 	// OPT hits iff every quantum in (prev, now) still has spare capacity.
+	i := prev % g.window
 	for t := prev; t < g.now; t++ {
-		if g.occ[t%g.window] >= g.capacity {
+		if g.occ[i] >= g.capacity {
 			return false, true
 		}
+		if i++; i == g.window {
+			i = 0
+		}
 	}
+	i = prev % g.window
 	for t := prev; t < g.now; t++ {
-		g.occ[t%g.window]++
+		g.occ[i]++
+		if i++; i == g.window {
+			i = 0
+		}
 	}
 	return true, true
 }
@@ -116,7 +136,8 @@ func (p *Hawkeye) Reset(sets, ways int) {
 	if sets < 8 {
 		p.sampleLog = 0
 	}
-	p.lru.reset(sets, ways)
+	p.lru.Reset(sets, ways)
+	p.averseScratch = make([]int, 0, ways)
 	p.AverseEvictions, p.FriendlyEvictions = 0, 0
 }
 
@@ -159,7 +180,7 @@ func (p *Hawkeye) OnHit(set, way int, req *btb.Request) {
 	p.observe(set, req.PC)
 	i := set*p.ways + way
 	p.averse[i] = false
-	p.lru.touch(set, way)
+	p.lru.Touch(set, way)
 }
 
 // OnInsert implements btb.Policy.
@@ -168,7 +189,7 @@ func (p *Hawkeye) OnInsert(set, way int, req *btb.Request) {
 	i := set*p.ways + way
 	p.averse[i] = !p.friendly(req.PC)
 	p.pcOf[i] = req.PC
-	p.lru.touch(set, way)
+	p.lru.Touch(set, way)
 }
 
 // Victim implements btb.Policy: evict an averse entry (LRU among them); if
@@ -177,18 +198,19 @@ func (p *Hawkeye) OnInsert(set, way int, req *btb.Request) {
 // in line for eviction.
 func (p *Hawkeye) Victim(set int, _ []btb.Entry, _ *btb.Request) int {
 	base := set * p.ways
-	var averseWays []int
+	averseWays := p.averseScratch[:0]
 	for w := 0; w < p.ways; w++ {
 		if p.averse[base+w] {
 			averseWays = append(averseWays, w)
 		}
 	}
+	p.averseScratch = averseWays
 	if len(averseWays) > 0 {
 		p.AverseEvictions++
-		return p.lru.lruAmong(set, averseWays)
+		return p.lru.LRUAmong(set, averseWays)
 	}
 	p.FriendlyEvictions++
-	victim := p.lru.lruWay(set)
+	victim := p.lru.LRUWay(set)
 	// Detrain: OPT would not have evicted a friendly line; the classifier
 	// over-promised for this PC.
 	if ci := p.counterIdx(p.pcOf[base+victim]); p.counters[ci] > 0 {

@@ -9,15 +9,11 @@ import "thermometer/internal/btb"
 // prediction (RRPV = 2^M − 2); hits promote to "near-immediate" (0);
 // eviction takes the first way whose RRPV is "distant" (2^M − 1), aging the
 // whole set until one exists.
+//
+// The mechanism lives in btb.SRRIPCore (shared with the BTB's devirtualized
+// fast path); this type adapts it to btb.Policy.
 type SRRIP struct {
-	bits int
-	max  uint8 // distant value = 2^bits − 1
-	rrpv []uint8
-	ways int
-
-	// AgingRounds counts whole-set RRPV aging sweeps — a measure of how
-	// often no entry is already predicted distant (see Instrumented).
-	AgingRounds uint64
+	btb.SRRIPCore
 }
 
 // NewSRRIP returns a 2-bit SRRIP policy (the standard configuration).
@@ -25,52 +21,27 @@ func NewSRRIP() *SRRIP { return NewSRRIPBits(2) }
 
 // NewSRRIPBits returns an SRRIP policy with M-bit RRPVs.
 func NewSRRIPBits(m int) *SRRIP {
-	if m < 1 || m > 8 {
-		panic("policy: SRRIP bits out of range")
-	}
-	return &SRRIP{bits: m, max: uint8(1<<m - 1)}
+	return &SRRIP{SRRIPCore: btb.NewSRRIPCore(m)}
 }
 
 // Name implements btb.Policy.
 func (p *SRRIP) Name() string { return "SRRIP" }
 
-// Reset implements btb.Policy.
-func (p *SRRIP) Reset(sets, ways int) {
-	p.rrpv = make([]uint8, sets*ways)
-	for i := range p.rrpv {
-		p.rrpv[i] = p.max
-	}
-	p.ways = ways
-	p.AgingRounds = 0
-}
-
 // OnHit implements btb.Policy: hit promotion to RRPV 0.
-func (p *SRRIP) OnHit(set, way int, _ *btb.Request) {
-	p.rrpv[set*p.ways+way] = 0
-}
+func (p *SRRIP) OnHit(set, way int, _ *btb.Request) { p.Promote(set, way) }
 
 // OnInsert implements btb.Policy: insert with a long re-reference interval,
 // so a branch only earns retention by being re-taken (the "BTB-averse until
 // proven friendly" assumption §2.3 describes).
-func (p *SRRIP) OnInsert(set, way int, _ *btb.Request) {
-	p.rrpv[set*p.ways+way] = p.max - 1
-}
+func (p *SRRIP) OnInsert(set, way int, _ *btb.Request) { p.InsertLong(set, way) }
 
 // Victim implements btb.Policy.
 func (p *SRRIP) Victim(set int, _ []btb.Entry, _ *btb.Request) int {
-	base := set * p.ways
-	for {
-		for w := 0; w < p.ways; w++ {
-			if p.rrpv[base+w] == p.max {
-				return w
-			}
-		}
-		for w := 0; w < p.ways; w++ {
-			p.rrpv[base+w]++
-		}
-		p.AgingRounds++
-	}
+	return p.SelectVictim(set)
 }
+
+// FastSRRIP implements btb.SRRIPFastPath, enabling devirtualized dispatch.
+func (p *SRRIP) FastSRRIP() *btb.SRRIPCore { return &p.SRRIPCore }
 
 // TelemetryCounters implements Instrumented.
 func (p *SRRIP) TelemetryCounters() map[string]uint64 {

@@ -16,21 +16,12 @@ import "thermometer/internal/btb"
 // profile.HintTable, standing in for the bits a compiler would encode into
 // the branch instruction) and are stored per entry by the BTB, matching the
 // 2-bits-per-entry hardware cost computed in §3.4.
+//
+// Algorithm 1 itself lives in btb.ThermometerCore (shared with the BTB's
+// devirtualized fast path); this type adapts it to btb.Policy. The core's
+// Decisions/Covered/Bypasses counters and NoBypass flag are promoted.
 type Thermometer struct {
-	lru lruState
-
-	// noBypass disables Algorithm 1's bypass (line 5-6) for the ablation
-	// study of §2.5: a uniquely-coldest incoming branch is then inserted
-	// over the coldest (LRU-tie-broken) resident.
-	noBypass bool
-
-	// CoverageStats tracks how often the temperature hint actually
-	// discriminated between candidates (Fig 15). A decision is "covered"
-	// unless every candidate (residents and the incoming branch) shares
-	// the same temperature, in which case Thermometer degenerates to LRU.
-	Decisions uint64
-	Covered   uint64
-	Bypasses  uint64
+	btb.ThermometerCore
 }
 
 // NewThermometer returns the Thermometer replacement policy.
@@ -38,78 +29,34 @@ func NewThermometer() *Thermometer { return &Thermometer{} }
 
 // NewThermometerNoBypass returns the §2.5 ablation: temperature-guided
 // eviction without the bypass path.
-func NewThermometerNoBypass() *Thermometer { return &Thermometer{noBypass: true} }
+func NewThermometerNoBypass() *Thermometer {
+	p := &Thermometer{}
+	p.NoBypass = true
+	return p
+}
 
 // Name implements btb.Policy.
 func (p *Thermometer) Name() string {
-	if p.noBypass {
+	if p.NoBypass {
 		return "Thermometer-nobypass"
 	}
 	return "Thermometer"
 }
 
-// Reset implements btb.Policy.
-func (p *Thermometer) Reset(sets, ways int) {
-	p.lru.reset(sets, ways)
-	p.Decisions, p.Covered, p.Bypasses = 0, 0, 0
-}
-
 // OnHit implements btb.Policy.
-func (p *Thermometer) OnHit(set, way int, _ *btb.Request) { p.lru.touch(set, way) }
+func (p *Thermometer) OnHit(set, way int, _ *btb.Request) { p.Touch(set, way) }
 
 // OnInsert implements btb.Policy.
-func (p *Thermometer) OnInsert(set, way int, _ *btb.Request) { p.lru.touch(set, way) }
+func (p *Thermometer) OnInsert(set, way int, _ *btb.Request) { p.Touch(set, way) }
 
 // Victim implements btb.Policy (Algorithm 1).
 func (p *Thermometer) Victim(set int, entries []btb.Entry, req *btb.Request) int {
-	p.Decisions++
-
-	coldest := req.Temperature
-	allSame := true
-	for i := range entries {
-		t := entries[i].Temperature
-		if t != req.Temperature {
-			allSame = false
-		}
-		if t < coldest {
-			coldest = t
-		}
-	}
-	if !allSame {
-		p.Covered++
-	}
-
-	var candidates []int
-	for i := range entries {
-		if entries[i].Temperature == coldest {
-			candidates = append(candidates, i)
-		}
-	}
-	if len(candidates) == 0 {
-		if p.noBypass || req.Prefetch {
-			// Insert anyway, evicting the coldest (LRU-tie-broken)
-			// resident: either the no-bypass ablation is active, or this
-			// is a prefetcher-initiated fill whose transient evidence of
-			// imminent reuse outweighs the holistic cold hint.
-			coldestResident := entries[0].Temperature
-			for i := range entries {
-				if entries[i].Temperature < coldestResident {
-					coldestResident = entries[i].Temperature
-				}
-			}
-			for i := range entries {
-				if entries[i].Temperature == coldestResident {
-					candidates = append(candidates, i)
-				}
-			}
-			return p.lru.lruAmong(set, candidates)
-		}
-		// The incoming branch is uniquely coldest: bypass (Alg. 1 line 6).
-		p.Bypasses++
-		return btb.Bypass
-	}
-	return p.lru.lruAmong(set, candidates)
+	return p.SelectVictimEntries(set, entries, req)
 }
+
+// FastThermometer implements btb.ThermometerFastPath, enabling
+// devirtualized dispatch.
+func (p *Thermometer) FastThermometer() *btb.ThermometerCore { return &p.ThermometerCore }
 
 // Coverage returns the fraction of replacement decisions where the
 // temperature hint discriminated between candidates (Fig 15's metric).
@@ -137,6 +84,7 @@ var _ Instrumented = (*Thermometer)(nil)
 // (FIFO) tie breaking, deliberately ignoring recency.
 type HolisticOnly struct {
 	fifo fifoState
+	cand []int // scratch: candidate ways, reused across decisions
 }
 
 // NewHolisticOnly returns the holistic-only ablation policy.
@@ -146,7 +94,10 @@ func NewHolisticOnly() *HolisticOnly { return &HolisticOnly{} }
 func (p *HolisticOnly) Name() string { return "Holistic" }
 
 // Reset implements btb.Policy.
-func (p *HolisticOnly) Reset(sets, ways int) { p.fifo.reset(sets, ways) }
+func (p *HolisticOnly) Reset(sets, ways int) {
+	p.fifo.reset(sets, ways)
+	p.cand = make([]int, 0, ways)
+}
 
 // OnHit implements btb.Policy: recency is deliberately not tracked.
 func (p *HolisticOnly) OnHit(int, int, *btb.Request) {}
@@ -162,16 +113,16 @@ func (p *HolisticOnly) Victim(set int, entries []btb.Entry, req *btb.Request) in
 			coldest = entries[i].Temperature
 		}
 	}
-	var candidates []int
+	p.cand = p.cand[:0]
 	for i := range entries {
 		if entries[i].Temperature == coldest {
-			candidates = append(candidates, i)
+			p.cand = append(p.cand, i)
 		}
 	}
-	if len(candidates) == 0 {
+	if len(p.cand) == 0 {
 		return btb.Bypass
 	}
-	return p.fifo.oldestAmong(set, candidates)
+	return p.fifo.oldestAmong(set, p.cand)
 }
 
 var _ btb.Policy = (*HolisticOnly)(nil)

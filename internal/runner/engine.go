@@ -3,7 +3,6 @@ package runner
 import (
 	"context"
 	"fmt"
-	"sync"
 	"sync/atomic"
 
 	"thermometer/internal/telemetry"
@@ -39,11 +38,8 @@ type Engine struct {
 	// the tracer attached or absent.
 	Spans *span.Tracer
 
-	mu         sync.Mutex
-	traces     map[string]*traceSlot // guarded by mu
-	hintTables map[string]*hintSlot  // guarded by mu
-	queued     atomic.Int64
-	inflight   atomic.Int64
+	queued   atomic.Int64
+	inflight atomic.Int64
 
 	// execHook, when non-nil, replaces the simulation executor (tests use
 	// it to inject panics and synthetic outcomes).

@@ -53,20 +53,40 @@ type hintSlot struct {
 	err  error
 }
 
+// Traces and hint tables are pure functions of the spec fields that key
+// them, so the caches live at package level and are shared by every Engine:
+// harnesses that construct a fresh Engine per job (benchmark samplers, the
+// CLI) reuse the generated trace instead of paying workload synthesis again.
+// Both caches are bounded: on overflow the whole map is dropped and rebuilt,
+// which is trivially correct for a content-addressed cache of pure values.
+const (
+	maxCachedTraces     = 64
+	maxCachedHintTables = 256
+)
+
+var (
+	cacheMu    sync.Mutex
+	traces     map[string]*traceSlot
+	hintTables map[string]*hintSlot
+)
+
 // trace returns (and caches) the trace for a normalized spec. Concurrent
 // requests for the same trace generate it exactly once.
 func (e *Engine) trace(s Spec) *trace.Trace {
 	key := fmt.Sprintf("%s/%s/%d#%d/%d", s.Suite, s.App, s.Index, s.Input, s.Scale)
-	e.mu.Lock()
-	if e.traces == nil {
-		e.traces = make(map[string]*traceSlot)
+	cacheMu.Lock()
+	if len(traces) >= maxCachedTraces {
+		traces = nil
 	}
-	slot := e.traces[key]
+	if traces == nil {
+		traces = make(map[string]*traceSlot)
+	}
+	slot := traces[key]
 	if slot == nil {
 		slot = &traceSlot{}
-		e.traces[key] = slot
+		traces[key] = slot
 	}
-	e.mu.Unlock()
+	cacheMu.Unlock()
 	slot.once.Do(func() {
 		var spec workload.AppSpec
 		switch s.Suite {
@@ -90,16 +110,19 @@ func (e *Engine) hints(s Spec, tr *trace.Trace) (*profile.HintTable, error) {
 		entries = s.HintEntries
 	}
 	key := fmt.Sprintf("%s/%s/%d#%d/%d@%dx%d", s.Suite, s.App, s.Index, s.Input, s.Scale, entries, s.BTBWays)
-	e.mu.Lock()
-	if e.hintTables == nil {
-		e.hintTables = make(map[string]*hintSlot)
+	cacheMu.Lock()
+	if len(hintTables) >= maxCachedHintTables {
+		hintTables = nil
 	}
-	slot := e.hintTables[key]
+	if hintTables == nil {
+		hintTables = make(map[string]*hintSlot)
+	}
+	slot := hintTables[key]
 	if slot == nil {
 		slot = &hintSlot{}
-		e.hintTables[key] = slot
+		hintTables[key] = slot
 	}
-	e.mu.Unlock()
+	cacheMu.Unlock()
 	slot.once.Do(func() {
 		slot.ht, _, slot.err = profile.ProfileTrace(tr, entries, s.BTBWays, profile.DefaultConfig())
 	})

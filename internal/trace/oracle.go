@@ -27,7 +27,17 @@ type Access struct {
 // AccessStream returns the trace's taken-branch subsequence with next-use
 // indices precomputed in a single backward pass. The result is the input to
 // both the offline Belady profiler and the online OPT replacement policy.
+//
+// The stream is computed once per Trace and cached: profiling, prefetch
+// metadata, and the simulator all consume the same stream, and benchmark
+// harnesses call Run repeatedly on one trace. Callers must treat the
+// returned slice as read-only.
 func (t *Trace) AccessStream() []Access {
+	t.accessOnce.Do(func() { t.accessStream = t.buildAccessStream() })
+	return t.accessStream
+}
+
+func (t *Trace) buildAccessStream() []Access {
 	n := 0
 	for i := range t.Records {
 		if t.Records[i].Taken {

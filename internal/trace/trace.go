@@ -16,7 +16,10 @@
 //     simulated CPU executes.
 package trace
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+)
 
 // BranchType classifies a branch record. The distinction matters to the
 // frontend model: unconditional direct branches are redirect-detectable at
@@ -91,6 +94,11 @@ type Trace struct {
 	Name string
 	// Records is the dynamic branch sequence.
 	Records []Record
+
+	// accessStream caches AccessStream's result; it is derived purely from
+	// Records, which are immutable once a Trace is published.
+	accessOnce   sync.Once
+	accessStream []Access
 }
 
 // Len returns the number of dynamic branch records.
