@@ -21,6 +21,10 @@
 //
 //	benchsnap -compare BENCH_1.json -floor 2500000
 //
+// Append the comparison as a markdown table to a CI step summary:
+//
+//	benchsnap -compare BENCH_0.json -md "$GITHUB_STEP_SUMMARY"
+//
 // Every cell runs serially (Workers=1, no cache) so the numbers measure the
 // simulator, not the pool. Cross-machine comparisons are made on
 // machine-normalized scores: each cell's median ns divided by the wall time
@@ -60,12 +64,16 @@ func run(args []string, stdout, stderr io.Writer) error {
 		scale     = fs.Int("scale", 16, "trace scale divisor for the grid")
 		threshold = fs.Float64("threshold", 0.10, "relative slowdown that counts as a regression")
 		floor     = fs.Float64("floor", 0, "minimum grid-median normalized throughput (blocks per calibration unit); 0 disables the gate")
+		md        = fs.String("md", "", "with -compare: append the comparison as a markdown table to this file (e.g. $GITHUB_STEP_SUMMARY)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *with != "" && *compare == "" {
 		return fmt.Errorf("-with requires -compare")
+	}
+	if *md != "" && *compare == "" {
+		return fmt.Errorf("-md requires -compare")
 	}
 	if *samples < 1 {
 		return fmt.Errorf("-samples must be >= 1")
@@ -128,6 +136,21 @@ func run(args []string, stdout, stderr io.Writer) error {
 	rep := perfsnap.Compare(base, snap, *threshold)
 	if err := rep.WriteText(stdout); err != nil {
 		return err
+	}
+	if *md != "" {
+		// Append, not truncate: $GITHUB_STEP_SUMMARY accumulates sections
+		// from every step of the job.
+		f, err := os.OpenFile(*md, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+		if err != nil {
+			return err
+		}
+		if err := rep.WriteMarkdown(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
 	}
 	if rep.Failed() {
 		return fmt.Errorf("throughput regression vs %s (%d regressed, %d baseline cell(s) missing)",

@@ -21,6 +21,12 @@
 //	btbsim -trace kafka0.trc -attrib -regret-top 40            # more branches
 //	btbsim -trace kafka0.trc -heatmap heat.csv                 # per-set series
 //	btbsim -trace kafka0.trc -attrib -http :6060               # live /debug/attrib
+//
+// Hint-quality audit (package hintqual): score the attached hint table live
+// against a Belady shadow — coverage, per-bucket confusion, temperature drift:
+//
+//	btbsim -trace kafka1.trc -policy thermometer -hints kafka.hints -hintqual
+//	btbsim -trace kafka1.trc -policy thermometer -hints kafka.hints -hintqual -http :6060
 package main
 
 import (
@@ -36,6 +42,7 @@ import (
 	"thermometer/internal/bpred"
 	"thermometer/internal/btb"
 	"thermometer/internal/core"
+	"thermometer/internal/hintqual"
 	"thermometer/internal/policy"
 	"thermometer/internal/profile"
 	"thermometer/internal/telemetry"
@@ -102,6 +109,9 @@ func main() {
 		attrib      = flag.Bool("attrib", false, "attach the miss-attribution/regret audit layer and print its report")
 		regretTop   = flag.Int("regret-top", 20, "number of most-regretted branches in the attribution report")
 		heatmapPath = flag.String("heatmap", "", "write the per-set occupancy/temperature heatmap as CSV (implies attribution)")
+
+		hintQual    = flag.Bool("hintqual", false, "attach the hint-quality audit layer (requires -hints) and print its report")
+		hintQualTop = flag.Int("hintqual-top", 20, "number of most-mismatched branches in the hint-quality report")
 
 		metricsPath  = flag.String("metrics", "", "write telemetry report (counters, histograms, epoch series) as JSON")
 		eventsPath   = flag.String("events", "", "write BTB/redirect event trace as Chrome trace_event JSON")
@@ -200,9 +210,26 @@ func main() {
 		cfg.Attribution = att
 	}
 
+	// Attach the hint-quality audit when requested. Its drift windows close
+	// on the telemetry epoch grid, so -hintqual also forces an observer below.
+	var hq *hintqual.Recorder
+	if *hintQual {
+		if *twoLevel {
+			fatalf("-hintqual requires a monolithic BTB (drop -twolevel)")
+		}
+		if *hintsPath == "" {
+			fatalf("-hintqual requires -hints (there is no hint table to audit)")
+		}
+		if *hintQualTop <= 0 {
+			fatalf("-hintqual-top must be positive")
+		}
+		hq = hintqual.New(hintqual.Options{})
+		cfg.HintQual = hq
+	}
+
 	// Attach the observer when any telemetry sink is requested.
 	var obs *telemetry.Observer
-	if *metricsPath != "" || *eventsPath != "" || *epochCSVPath != "" || *httpAddr != "" || *heatmapPath != "" {
+	if *metricsPath != "" || *eventsPath != "" || *epochCSVPath != "" || *httpAddr != "" || *heatmapPath != "" || *hintQual {
 		opts := telemetry.Options{EpochInterval: *epoch}
 		if *eventsPath != "" || *httpAddr != "" {
 			opts.EventCap = *eventCap
@@ -216,6 +243,10 @@ func main() {
 		if att != nil {
 			mounts = append(mounts, telemetry.Mount{Pattern: "/debug/attrib", Handler: att.Handler()})
 			routes += ", /debug/attrib"
+		}
+		if hq != nil {
+			mounts = append(mounts, telemetry.Mount{Pattern: "/debug/hintqual", Handler: hq.Handler()})
+			routes += ", /debug/hintqual"
 		}
 		bound, shutdown, err := obs.Serve(*httpAddr, mounts...)
 		if err != nil {
@@ -241,6 +272,7 @@ func main() {
 		"warmup":    fmt.Sprintf("%g", cfg.WarmupFrac),
 		"epoch":     fmt.Sprintf("%d", *epoch),
 		"attrib":    fmt.Sprintf("%v", att != nil),
+		"hintqual":  fmt.Sprintf("%v", hq != nil),
 	}
 	keys := make([]string, 0, len(manifest))
 	for k := range manifest {
@@ -300,6 +332,12 @@ func main() {
 			fmt.Printf("  attribution: wrote heatmap CSV to %s\n", *heatmapPath)
 		}
 	}
+	if hq != nil {
+		fmt.Println()
+		if err := hq.WriteText(os.Stdout, *hintQualTop); err != nil {
+			fatalf("write hint-quality report: %v", err)
+		}
+	}
 
 	if *compare && *polName != "lru" {
 		base := core.Run(tr, func() core.Config {
@@ -308,6 +346,7 @@ func main() {
 			c.Hints = nil
 			c.Observer = nil    // telemetry describes the primary run only
 			c.Attribution = nil // likewise the attribution audit
+			c.HintQual = nil    // and the hint-quality audit
 			return c
 		}())
 		fmt.Printf("  speedup over LRU: %.2f%% (LRU IPC %.3f)\n",

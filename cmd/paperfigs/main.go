@@ -1,7 +1,8 @@
 // Command paperfigs regenerates the tables and figures of the paper's
 // evaluation (Table 1 and Figs 1-9, 11-21), plus repo-specific extras:
-// "ablations" (design-choice ablations) and "regret" (the attribution
-// layer's miss-taxonomy and replacement-regret-vs-OPT audit).
+// "ablations" (design-choice ablations), "regret" (the attribution layer's
+// miss-taxonomy and replacement-regret-vs-OPT audit), and "hintqual" (hint
+// accuracy vs speedup across profile freshness grades).
 //
 // Usage:
 //
@@ -12,6 +13,7 @@
 //	paperfigs -exp all -timeout 10m   # bound the whole sweep
 //	paperfigs -exp all -http :6060    # live expvar/pprof during the sweep
 //	paperfigs -exp all -metrics sweep.json
+//	paperfigs -exp hintqual -markdown # markdown tables (CI step summaries)
 //	paperfigs -list
 //
 // Output is byte-identical at every -parallel width: experiment loops write
@@ -44,6 +46,7 @@ func main() {
 		list     = flag.Bool("list", false, "list experiments and exit")
 		metrics  = flag.String("metrics", "", "write sweep telemetry (per-experiment wall time, cache traffic) as JSON")
 		httpA    = flag.String("http", "", "serve live telemetry, expvar, and pprof on this address during the sweep")
+		markdown = flag.Bool("markdown", false, "render tables as GitHub-flavored markdown (for $GITHUB_STEP_SUMMARY)")
 	)
 	flag.Parse()
 
@@ -108,9 +111,19 @@ func main() {
 			os.Exit(1)
 		}
 		for _, t := range tables {
-			t.Render(os.Stdout)
+			if *markdown {
+				t.RenderMarkdown(os.Stdout)
+			} else {
+				t.Render(os.Stdout)
+			}
 		}
-		fmt.Printf("[%s took %v]\n\n", id, time.Since(start).Round(time.Millisecond))
+		if *markdown {
+			// Keep stdout pure markdown (it is redirected into the CI step
+			// summary); the timing chatter goes to stderr instead.
+			fmt.Fprintf(os.Stderr, "[%s took %v]\n", id, time.Since(start).Round(time.Millisecond))
+		} else {
+			fmt.Printf("[%s took %v]\n\n", id, time.Since(start).Round(time.Millisecond))
+		}
 	}
 
 	if obs != nil && *metrics != "" {

@@ -23,6 +23,7 @@ import (
 	"thermometer/internal/bpred"
 	"thermometer/internal/btb"
 	"thermometer/internal/cache"
+	"thermometer/internal/hintqual"
 	"thermometer/internal/profile"
 	"thermometer/internal/telemetry"
 )
@@ -112,6 +113,15 @@ type Config struct {
 	// Requires a monolithic BTB (no ShotgunPartition or TwoLevelBTB). Its
 	// heatmap samples on the Observer's epoch grid when one is attached.
 	Attribution *attribution.Recorder
+
+	// HintQual, when non-nil, attaches the hint-quality audit layer (see
+	// package hintqual): every demand BTB access is scored against a
+	// same-geometry Belady shadow to measure hint coverage, per-bucket
+	// confusion against the profiled temperatures, and windowed temperature
+	// drift. Requires a monolithic BTB (no ShotgunPartition or TwoLevelBTB).
+	// Its drift windows close on the Observer's epoch grid when one is
+	// attached; without an Observer the whole run is a single window.
+	HintQual *hintqual.Recorder
 }
 
 // TwoLevelBTBConfig sizes the optional two-level BTB organization.

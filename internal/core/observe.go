@@ -4,6 +4,7 @@ import (
 	"thermometer/internal/attribution"
 	"thermometer/internal/btb"
 	"thermometer/internal/detmap"
+	"thermometer/internal/hintqual"
 	"thermometer/internal/policy"
 	"thermometer/internal/telemetry"
 )
@@ -37,6 +38,11 @@ type observerState struct {
 	// att, when non-nil, receives every probe event for miss attribution
 	// and regret tracing (see attachAttribution).
 	att *attribution.Recorder
+
+	// hq, when non-nil, receives every demand probe event for hint-quality
+	// audit, and its drift windows close on the epoch grid (see
+	// attachHintQual).
+	hq *hintqual.Recorder
 }
 
 func newObserverState(obs *telemetry.Observer, res *Result, bank *btbBank, twoLevel *btb.TwoLevel) *observerState {
@@ -75,6 +81,9 @@ func newObserverState(obs *telemetry.Observer, res *Result, bank *btbBank, twoLe
 func (o *observerState) probe(kind btb.ProbeKind, set, way int, req *btb.Request, victim *btb.Entry) {
 	if o.att != nil {
 		forwardAttrib(o.att, o.res, kind, set, way, req, victim)
+	}
+	if o.hq != nil {
+		forwardHintQual(o.hq, kind, set, req)
 	}
 	now := o.res.Cycles
 	switch kind {
@@ -168,6 +177,9 @@ func (o *observerState) afterBlock(leadCycles uint64) {
 		if o.att != nil {
 			o.att.SampleHeat(o.res.Instructions, o.bank.main)
 		}
+		if o.hq != nil {
+			o.hq.SampleWindow(o.res.Instructions)
+		}
 	}
 }
 
@@ -237,6 +249,10 @@ func (o *observerState) finish() {
 			// Close the heatmap with the final partial epoch too.
 			o.att.SampleHeat(o.res.Instructions, o.bank.main)
 		}
+		if o.hq != nil {
+			// Close the final partial drift window too.
+			o.hq.SampleWindow(o.res.Instructions)
+		}
 	}
 	m := o.obs.Metrics
 	if m == nil {
@@ -251,6 +267,15 @@ func (o *observerState) finish() {
 		m.SetCounter("attrib_agree_opt", regret.AgreeOPT)
 		m.SetCounter("attrib_charged", regret.Charged)
 		m.SetCounter("attrib_windfall", regret.Windfall)
+	}
+	if o.hq != nil {
+		s := o.hq.Summary()
+		m.SetCounter("hintqual_accesses", s.Accesses)
+		m.SetCounter("hintqual_branches", uint64(s.Branches))
+		m.SetCounter("hintqual_over_predicted", s.OverPredicted)
+		m.SetCounter("hintqual_under_predicted", s.UnderPredicted)
+		m.SetCounter("hintqual_windows", s.Windows)
+		m.SetCounter("hintqual_drift_epochs", s.DriftEpochs)
 	}
 	cum := o.cumulative()
 	m.Gauge("btb_valid_entries").Set(cum.BTBValid)

@@ -303,6 +303,9 @@ func Run(tr *trace.Trace, cfg Config) *Result {
 	if cfg.Attribution != nil {
 		attachAttribution(&cfg, res, bank, s.obs)
 	}
+	if cfg.HintQual != nil {
+		attachHintQual(&cfg, res, bank, s.obs)
+	}
 
 	recs := tr.Records
 	warmupEnd := int(cfg.WarmupFrac * float64(len(recs)))
@@ -331,6 +334,10 @@ func Run(tr *trace.Trace, cfg Config) *Result {
 	res.InstrLLCMisses = s.hier.InstrLLCMisses
 	if s.obs != nil {
 		s.obs.finish()
+	} else if cfg.HintQual != nil {
+		// No epoch grid without an observer: the measured region closes as
+		// one drift window so coverage/accuracy still have a sample.
+		cfg.HintQual.SampleWindow(res.Instructions)
 	}
 	return res
 }
@@ -375,6 +382,9 @@ func (s *sim) warmupReset() {
 	}
 	if s.cfg.Attribution != nil {
 		s.cfg.Attribution.OnWarmupReset()
+	}
+	if s.cfg.HintQual != nil {
+		s.cfg.HintQual.OnWarmupReset()
 	}
 }
 

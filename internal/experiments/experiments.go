@@ -77,6 +77,31 @@ func (t *Table) Render(w io.Writer) {
 	fmt.Fprintln(w)
 }
 
+// RenderMarkdown writes the table as GitHub-flavored markdown — the shape CI
+// appends to $GITHUB_STEP_SUMMARY. Cells are pipe-escaped so a value can
+// never break the table structure.
+func (t *Table) RenderMarkdown(w io.Writer) {
+	esc := func(s string) string { return strings.ReplaceAll(s, "|", "\\|") }
+	fmt.Fprintf(w, "### %s: %s\n\n", esc(t.ID), esc(t.Title))
+	cells := make([]string, len(t.Header))
+	for i, h := range t.Header {
+		cells[i] = esc(h)
+	}
+	fmt.Fprintf(w, "| %s |\n", strings.Join(cells, " | "))
+	fmt.Fprintf(w, "|%s\n", strings.Repeat("---|", len(t.Header)))
+	for _, row := range t.Rows {
+		cells = cells[:0]
+		for _, c := range row {
+			cells = append(cells, esc(c))
+		}
+		fmt.Fprintf(w, "| %s |\n", strings.Join(cells, " | "))
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "\n_%s_\n", esc(n))
+	}
+	fmt.Fprintln(w)
+}
+
 func dashes(widths []int) []string {
 	out := make([]string, len(widths))
 	for i, w := range widths {

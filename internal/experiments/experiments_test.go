@@ -30,7 +30,7 @@ func TestRegistryComplete(t *testing.T) {
 	want := []string{"table1", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6",
 		"fig7", "fig8", "fig9", "fig11", "fig12", "fig13", "fig14", "fig15",
 		"fig16", "fig17", "fig18", "fig19", "fig20", "fig21", "ablations",
-		"regret", "twolevel"}
+		"hintqual", "regret", "twolevel"}
 	if len(Registry) != len(want) {
 		t.Fatalf("registry has %d entries, want %d", len(Registry), len(want))
 	}
@@ -54,6 +54,19 @@ func TestTableRender(t *testing.T) {
 	for _, want := range []string{"== x: T ==", "a", "bb", "1", "note: n"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("render missing %q in %q", want, out)
+		}
+	}
+}
+
+func TestTableRenderMarkdown(t *testing.T) {
+	tab := &Table{ID: "x", Title: "T", Header: []string{"a", "bb"}, Notes: []string{"n"}}
+	tab.AddRow("1", "va|ue")
+	var buf bytes.Buffer
+	tab.RenderMarkdown(&buf)
+	out := buf.String()
+	for _, want := range []string{"### x: T", "| a | bb |", "|---|---|", `| 1 | va\|ue |`, "_n_"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("markdown render missing %q in %q", want, out)
 		}
 	}
 }
@@ -252,6 +265,42 @@ func TestRemainingExperimentsSmoke(t *testing.T) {
 		}
 		if rows < minRows {
 			t.Errorf("%s: %d rows, want >= %d", id, rows, minRows)
+		}
+	}
+}
+
+// TestHintQualFigOrdering pins the hintqual figure's acceptance property:
+// the measured hint accuracy and the measured speedup over LRU degrade in
+// the same order across profile freshness grades — same-input, cross-input,
+// stale — for every application, so the audit's live score ranks hint
+// tables the way their performance does.
+func TestHintQualFigOrdering(t *testing.T) {
+	tabs := HintQualFig(quickCtx())
+	if len(tabs) != 1 {
+		t.Fatalf("hintqual returned %d tables, want 1", len(tabs))
+	}
+	tab := tabs[0]
+	if len(tab.Rows)%3 != 0 || len(tab.Rows) == 0 {
+		t.Fatalf("hintqual rows = %d, want a positive multiple of 3", len(tab.Rows))
+	}
+	for i := 0; i < len(tab.Rows); i += 3 {
+		same, cross, stale := tab.Rows[i], tab.Rows[i+1], tab.Rows[i+2]
+		app := same[0]
+		if same[1] != "same-input" || cross[1] != "cross-input" || stale[1] != "stale" {
+			t.Fatalf("%s: grade order %q %q %q", app, same[1], cross[1], stale[1])
+		}
+		acc := func(r []string) float64 { return parsePct(t, r[3]) }
+		spd := func(r []string) float64 { return parsePct(t, r[7]) }
+		if !(acc(same) > acc(cross) && acc(cross) > acc(stale)) {
+			t.Errorf("%s: accuracy not monotone: %.2f / %.2f / %.2f",
+				app, acc(same), acc(cross), acc(stale))
+		}
+		if !(spd(same) > spd(cross) && spd(cross) > spd(stale)) {
+			t.Errorf("%s: speedup not monotone: %.2f / %.2f / %.2f",
+				app, spd(same), spd(cross), spd(stale))
+		}
+		if parsePct(t, same[2]) != 100.0 {
+			t.Errorf("%s: same-input coverage %.2f%%, want 100%%", app, parsePct(t, same[2]))
 		}
 	}
 }

@@ -1,0 +1,341 @@
+// Package hintqual audits a deployed Thermometer hint table live: how well
+// do the temperatures profiled offline describe the branches the workload
+// actually executes?
+//
+// The recorder scores every demand BTB access against a same-geometry
+// incremental Belady shadow (belady.Shadow — the identical decision
+// procedure the offline profiler uses), so each static branch accumulates an
+// *observed* hit-to-taken ratio measured under optimal replacement, exactly
+// the quantity the profiler thresholded into temperature buckets. Three
+// derived views:
+//
+//   - a per-static-branch confusion matrix (profiled bucket × observed
+//     bucket, both branch-weighted and access-weighted): profiled-hot-
+//     observed-cold cells are wasted protection, profiled-cold-observed-hot
+//     cells are missed protection;
+//   - hint coverage: the fraction of executed branches (and of demand
+//     accesses) whose PC carries an explicit hint rather than the profile's
+//     DefaultCategory fallback;
+//   - a sliding-window drift detector: on each telemetry epoch boundary the
+//     window's predicted and observed temperature distributions are closed
+//     out and compared by L1 distance; windows beyond a configurable
+//     threshold are flagged as drift epochs. A profile that matched its
+//     input scores near zero; a stale or cross-input profile drifts.
+//
+// Bounded state: the drift-window ring retains the last WindowCap rows and
+// the per-branch table grows with the static-branch working set (the same
+// bound as the profiler itself), never with trace length. The per-access
+// path is allocation-free once the branch set and shadow sets are warm
+// (pinned by TestRecorderSteadyStateAllocs). The fully-associative FAShadow
+// is deliberately *not* used here: its lazy heap grows on every access while
+// the working set sits below capacity, which would break that bound.
+//
+// The Recorder is safe for concurrent use: the simulator mutates it while
+// the live debug surface (/debug/hintqual) reads snapshots.
+package hintqual
+
+import (
+	"sync"
+
+	"thermometer/internal/belady"
+	"thermometer/internal/btb"
+	"thermometer/internal/profile"
+)
+
+// WindowRow is one closed drift window: the predicted (profiled) and
+// observed temperature distributions over the window's demand accesses,
+// their L1 distance, and per-set agreement counts for the accuracy heatmap.
+type WindowRow struct {
+	// StartInstr/EndInstr bound the window on the epoch grid.
+	StartInstr uint64 `json:"start_instr"`
+	EndInstr   uint64 `json:"end_instr"`
+	// Accesses is the number of demand accesses scored in this window.
+	Accesses uint64 `json:"accesses"`
+	// Predicted[i] counts accesses whose branch the profile put in bucket
+	// i; Observed[i] counts accesses whose running Belady-shadow ratio put
+	// them there. Both sum to Accesses.
+	Predicted []uint64 `json:"predicted"`
+	Observed  []uint64 `json:"observed"`
+	// L1 is the L1 distance between the normalized distributions, in
+	// [0, 2]; Drift reports whether it exceeded the recorder's threshold.
+	L1    float64 `json:"l1"`
+	Drift bool    `json:"drift"`
+	// SetAgree/SetTotal give per-BTB-set agreement counts (accesses whose
+	// predicted bucket equals the observed bucket) for the heatmap.
+	SetAgree []uint32 `json:"set_agree"`
+	SetTotal []uint32 `json:"set_total"`
+}
+
+// BranchAudit is the report form of one static branch's score.
+type BranchAudit struct {
+	PC uint64 `json:"pc"`
+	// Hinted reports whether the PC carried an explicit profile entry (vs
+	// the DefaultCategory fallback).
+	Hinted bool `json:"hinted"`
+	// Predicted is the profiled bucket; Observed the bucket of the final
+	// measured Belady-shadow hit-to-taken ratio.
+	Predicted uint8   `json:"predicted"`
+	Observed  uint8   `json:"observed"`
+	Accesses  uint64  `json:"accesses"`
+	Ratio     float64 `json:"ratio"`
+}
+
+// Options sizes a Recorder's bounded buffers and tunes the drift detector.
+type Options struct {
+	// WindowCap is the number of drift-window rows retained (default 512,
+	// minimum 1; oldest rows are dropped first).
+	WindowCap int
+	// DriftThreshold is the windowed L1 distance beyond which a window is
+	// flagged as a drift epoch (default 0.25). L1 ranges over [0, 2].
+	DriftThreshold float64
+}
+
+// branchStat is the per-static-branch audit state.
+type branchStat struct {
+	predicted  uint8 // profiled bucket (DefaultCategory when unhinted)
+	hinted     bool
+	accesses   uint64 // post-warmup demand accesses
+	shadowHits uint64 // of them, hits in the same-geometry Belady shadow
+}
+
+// Recorder is the hint-quality audit engine. Create with New, attach via
+// core.Config.HintQual (alongside a telemetry Observer for drift windows),
+// and read with Report, Summary, WriteText, or the /debug/hintqual Handler.
+type Recorder struct {
+	mu sync.Mutex
+
+	policy     string // guarded by mu
+	sets, ways int    // guarded by mu
+
+	// cfg is the profile configuration the hint table was built with (the
+	// default configuration when auditing without hints); hints may be nil.
+	cfg   profile.Config     // guarded by mu
+	hints *profile.HintTable // guarded by mu
+	cats  int                // guarded by mu; cfg.Categories()
+
+	// shadow is the same-geometry Belady reference the observed ratios are
+	// measured against.
+	shadow *belady.Shadow // guarded by mu
+
+	perBranch map[uint64]*branchStat // guarded by mu
+
+	// Headline counters (post-warmup).
+	accesses       uint64 // guarded by mu
+	hintedAccesses uint64 // guarded by mu
+
+	// Access-weighted confusion matrix, indexed [predicted][observed] with
+	// the *running* observed bucket as of each access.
+	confAccess [][]uint64 // guarded by mu
+
+	// Open drift window accumulators, closed by SampleWindow.
+	winStart    uint64   // guarded by mu; instruction count at window open
+	winAccesses uint64   // guarded by mu
+	winPred     []uint64 // guarded by mu
+	winObs      []uint64 // guarded by mu
+	winSetAgree []uint32 // guarded by mu
+	winSetTotal []uint32 // guarded by mu
+
+	// Closed-window ring (last windowCap rows).
+	windows     []WindowRow // guarded by mu
+	winHead     int         // guarded by mu
+	winTotal    uint64      // guarded by mu
+	driftEpochs uint64      // guarded by mu
+
+	windowCap int
+	threshold float64
+}
+
+// New returns an unbound Recorder; the simulator calls Bind at attach time.
+func New(opts Options) *Recorder {
+	if opts.WindowCap < 1 {
+		opts.WindowCap = 512
+	}
+	if opts.DriftThreshold <= 0 {
+		opts.DriftThreshold = 0.25
+	}
+	return &Recorder{windowCap: opts.WindowCap, threshold: opts.DriftThreshold}
+}
+
+// Threshold returns the drift threshold the recorder flags windows against.
+func (r *Recorder) Threshold() float64 { return r.threshold }
+
+// Bind sizes the recorder for one run: the policy under audit, the BTB
+// geometry, and the hint table being scored (nil audits the all-default
+// table: coverage is zero and every branch is predicted DefaultCategory).
+// It clears all recorded state.
+func (r *Recorder) Bind(policy string, sets, ways int, hints *profile.HintTable) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.policy = policy
+	r.sets, r.ways = sets, ways
+	r.hints = hints
+	if hints != nil {
+		r.cfg = hints.Config
+	} else {
+		r.cfg = profile.DefaultConfig()
+	}
+	r.cats = r.cfg.Categories()
+	r.shadow = belady.NewShadow(sets, ways)
+	r.perBranch = make(map[uint64]*branchStat, 1<<12)
+	r.accesses, r.hintedAccesses = 0, 0
+	r.confAccess = makeMatrix(r.cats)
+	r.winStart, r.winAccesses = 0, 0
+	r.winPred = make([]uint64, r.cats)
+	r.winObs = make([]uint64, r.cats)
+	r.winSetAgree = make([]uint32, sets)
+	r.winSetTotal = make([]uint32, sets)
+	r.windows = make([]WindowRow, 0, r.windowCap)
+	r.winHead, r.winTotal = 0, 0
+	r.driftEpochs = 0
+}
+
+func makeMatrix(n int) [][]uint64 {
+	m := make([][]uint64, n)
+	for i := range m {
+		m[i] = make([]uint64, n)
+	}
+	return m
+}
+
+// bound reports whether Bind has run (all probe entry points no-op before).
+func (r *Recorder) bound() bool { return r.shadow != nil }
+
+// branch returns the audit state for pc, resolving its profiled bucket on
+// first touch. Caller holds r.mu.
+func (r *Recorder) branch(pc uint64) *branchStat {
+	b := r.perBranch[pc]
+	if b == nil {
+		b = &branchStat{predicted: r.cfg.DefaultCategory}
+		if r.hints != nil {
+			if h, ok := r.hints.Hints[pc]; ok {
+				b.predicted = h
+				b.hinted = true
+			}
+		}
+		r.perBranch[pc] = b
+	}
+	return b
+}
+
+// OnDemand scores one demand access (hit, insert, or bypass — the probe
+// kinds that constitute the demand stream) against the Belady shadow. The
+// observed bucket is the branch's *running* shadow hit-to-taken ratio
+// including this access, so the window distributions track drift as it
+// happens rather than only in hindsight.
+func (r *Recorder) OnDemand(set int, req *btb.Request) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.bound() {
+		return
+	}
+	b := r.branch(req.PC)
+	out, _ := r.shadow.Access(req.PC, req.NextUse)
+	b.accesses++
+	if out == belady.ShadowHit {
+		b.shadowHits++
+	}
+	obs := r.cfg.Categorize(float64(b.shadowHits) / float64(b.accesses))
+
+	r.accesses++
+	if b.hinted {
+		r.hintedAccesses++
+	}
+	r.confAccess[b.predicted][obs]++
+	r.winAccesses++
+	r.winPred[b.predicted]++
+	r.winObs[obs]++
+	if set >= 0 && set < r.sets {
+		r.winSetTotal[set]++
+		if b.predicted == obs {
+			r.winSetAgree[set]++
+		}
+	}
+}
+
+// SampleWindow closes the open drift window at an epoch boundary: the
+// accumulated predicted and observed distributions are compared by L1
+// distance, flagged against the threshold, and pushed onto the window ring.
+// Call it on the telemetry epoch grid; empty windows are skipped so the
+// series only contains epochs that scored accesses.
+func (r *Recorder) SampleWindow(instr uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.bound() {
+		return
+	}
+	if r.winAccesses == 0 {
+		r.winStart = instr
+		return
+	}
+	row := WindowRow{
+		StartInstr: r.winStart,
+		EndInstr:   instr,
+		Accesses:   r.winAccesses,
+		Predicted:  append([]uint64(nil), r.winPred...),
+		Observed:   append([]uint64(nil), r.winObs...),
+		SetAgree:   append([]uint32(nil), r.winSetAgree...),
+		SetTotal:   append([]uint32(nil), r.winSetTotal...),
+	}
+	row.L1 = distL1(row.Predicted, row.Observed, row.Accesses)
+	row.Drift = row.L1 > r.threshold
+	if row.Drift {
+		r.driftEpochs++
+	}
+	if len(r.windows) < r.windowCap {
+		r.windows = append(r.windows, row)
+	} else {
+		r.windows[r.winHead] = row
+		r.winHead++
+		if r.winHead == r.windowCap {
+			r.winHead = 0
+		}
+	}
+	r.winTotal++
+
+	r.winStart = instr
+	r.winAccesses = 0
+	clear(r.winPred)
+	clear(r.winObs)
+	clear(r.winSetAgree)
+	clear(r.winSetTotal)
+}
+
+// distL1 is the L1 distance between the two count vectors normalized by
+// total (which both sum to): sum_i |p_i - o_i| / total, in [0, 2].
+func distL1(pred, obs []uint64, total uint64) float64 {
+	var sum float64
+	for i := range pred {
+		d := float64(pred[i]) - float64(obs[i])
+		if d < 0 {
+			d = -d
+		}
+		sum += d
+	}
+	return sum / float64(total)
+}
+
+// OnWarmupReset restarts the measurement counters in lockstep with the
+// simulator's end-of-warmup statistics reset. Learned state — the shadow
+// model contents and the per-branch hint resolutions — stays trained,
+// exactly like the BTB itself; only the measured ratios restart.
+func (r *Recorder) OnWarmupReset() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.bound() {
+		return
+	}
+	r.shadow.ResetStats()
+	for _, b := range r.perBranch {
+		b.accesses, b.shadowHits = 0, 0
+	}
+	r.accesses, r.hintedAccesses = 0, 0
+	r.confAccess = makeMatrix(r.cats)
+	r.winStart, r.winAccesses = 0, 0
+	clear(r.winPred)
+	clear(r.winObs)
+	clear(r.winSetAgree)
+	clear(r.winSetTotal)
+	r.windows = r.windows[:0]
+	r.winHead, r.winTotal = 0, 0
+	r.driftEpochs = 0
+}

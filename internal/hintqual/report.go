@@ -1,0 +1,282 @@
+package hintqual
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"thermometer/internal/detmap"
+)
+
+// Summary is the compact hint-quality digest embedded in runner outcomes
+// and published as telemetry counters at the end of an instrumented run.
+type Summary struct {
+	// Accesses is the number of demand accesses scored; Branches the number
+	// of distinct static branches they touched.
+	Accesses uint64 `json:"accesses"`
+	Branches int    `json:"branches"`
+	// CoverageAccesses/CoverageBranches are the fractions of accesses and
+	// branches carrying an explicit hint (vs the DefaultCategory fallback).
+	CoverageAccesses float64 `json:"coverage_accesses"`
+	CoverageBranches float64 `json:"coverage_branches"`
+	// AccuracyBranches is the fraction of branches whose profiled bucket
+	// equals the bucket of their final measured Belady ratio;
+	// AccuracyAccesses weights the same comparison by demand accesses
+	// (running observed bucket at each access).
+	AccuracyBranches float64 `json:"accuracy_branches"`
+	AccuracyAccesses float64 `json:"accuracy_accesses"`
+	// OverPredicted counts branches the profile ran hotter than observed
+	// (wasted protection); UnderPredicted counts branches it ran colder
+	// (missed protection).
+	OverPredicted  uint64 `json:"over_predicted"`
+	UnderPredicted uint64 `json:"under_predicted"`
+	// Windows is the number of drift windows closed; DriftEpochs how many
+	// exceeded the L1 threshold; MaxWindowL1 the largest distance seen in
+	// the retained ring.
+	Windows     uint64  `json:"windows"`
+	DriftEpochs uint64  `json:"drift_epochs"`
+	MaxWindowL1 float64 `json:"max_window_l1"`
+}
+
+// Report is a consistent snapshot of everything the Recorder knows; it is
+// the JSON body served at /debug/hintqual and the source for the text
+// report.
+type Report struct {
+	Policy     string  `json:"policy"`
+	Sets       int     `json:"sets"`
+	Ways       int     `json:"ways"`
+	Categories int     `json:"categories"`
+	Threshold  float64 `json:"threshold"`
+
+	Summary Summary `json:"summary"`
+
+	// ConfusionBranches[p][o] counts static branches profiled into bucket p
+	// whose final measured ratio lands in bucket o; ConfusionAccesses
+	// weights by demand accesses using the running observed bucket.
+	ConfusionBranches [][]uint64 `json:"confusion_branches"`
+	ConfusionAccesses [][]uint64 `json:"confusion_accesses"`
+
+	// TopMismatches are the most-executed branches whose profiled and
+	// observed buckets disagree, descending by accesses (ties by PC).
+	TopMismatches []BranchAudit `json:"top_mismatches"`
+
+	// Windows is the drift-window ring oldest-first; WindowsDropped counts
+	// rows that fell off it.
+	Windows        []WindowRow `json:"windows"`
+	WindowsDropped uint64      `json:"windows_dropped"`
+}
+
+// ringSlice returns the retained ring contents oldest-first. Caller holds
+// r.mu.
+func ringSlice[T any](ring []T, head int) []T {
+	out := make([]T, 0, len(ring))
+	out = append(out, ring[head:]...)
+	out = append(out, ring[:head]...)
+	return out
+}
+
+// summaryLocked assembles the digest. Caller holds r.mu.
+func (r *Recorder) summaryLocked() Summary {
+	s := Summary{
+		Accesses:    r.accesses,
+		Branches:    len(r.perBranch),
+		Windows:     r.winTotal,
+		DriftEpochs: r.driftEpochs,
+	}
+	var hintedBranches, matchBranches int
+	for _, b := range r.perBranch {
+		if b.hinted {
+			hintedBranches++
+		}
+		obs := r.observedBucket(b)
+		switch {
+		case b.predicted == obs:
+			matchBranches++
+		case b.predicted > obs:
+			s.OverPredicted++
+		default:
+			s.UnderPredicted++
+		}
+	}
+	if s.Accesses > 0 {
+		s.CoverageAccesses = float64(r.hintedAccesses) / float64(s.Accesses)
+	}
+	if s.Branches > 0 {
+		s.CoverageBranches = float64(hintedBranches) / float64(s.Branches)
+		s.AccuracyBranches = float64(matchBranches) / float64(s.Branches)
+	}
+	var diag uint64
+	for i := range r.confAccess {
+		diag += r.confAccess[i][i]
+	}
+	if s.Accesses > 0 {
+		s.AccuracyAccesses = float64(diag) / float64(s.Accesses)
+	}
+	for i := range r.windows {
+		if r.windows[i].L1 > s.MaxWindowL1 {
+			s.MaxWindowL1 = r.windows[i].L1
+		}
+	}
+	return s
+}
+
+// observedBucket is the bucket of b's final measured ratio. Caller holds
+// r.mu. A branch with no post-warmup accesses observes bucket 0 (a never-
+// accessed branch cannot be protected by any policy).
+func (r *Recorder) observedBucket(b *branchStat) uint8 {
+	if b.accesses == 0 {
+		return 0
+	}
+	return r.cfg.Categorize(float64(b.shadowHits) / float64(b.accesses))
+}
+
+// Summary snapshots the compact digest without materialising the ring or
+// confusion matrices' report forms.
+func (r *Recorder) Summary() Summary {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.bound() {
+		return Summary{}
+	}
+	return r.summaryLocked()
+}
+
+// Report snapshots the recorder. topN bounds TopMismatches (<= 0 means 20).
+func (r *Recorder) Report(topN int) *Report {
+	if topN <= 0 {
+		topN = 20
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	rep := &Report{
+		Policy:    r.policy,
+		Sets:      r.sets,
+		Ways:      r.ways,
+		Threshold: r.threshold,
+		// Non-nil so the JSON body always carries arrays, even when a
+		// client snapshots the recorder before Bind.
+		ConfusionBranches: [][]uint64{},
+		ConfusionAccesses: [][]uint64{},
+		TopMismatches:     []BranchAudit{},
+		Windows:           []WindowRow{},
+	}
+	if !r.bound() {
+		return rep
+	}
+	rep.Categories = r.cats
+	rep.Summary = r.summaryLocked()
+
+	rep.ConfusionBranches = makeMatrix(r.cats)
+	rep.ConfusionAccesses = makeMatrix(r.cats)
+	for i := range r.confAccess {
+		copy(rep.ConfusionAccesses[i], r.confAccess[i])
+	}
+	mismatches := make([]BranchAudit, 0, 64)
+	for _, pc := range detmap.SortedKeys(r.perBranch) {
+		b := r.perBranch[pc]
+		obs := r.observedBucket(b)
+		rep.ConfusionBranches[b.predicted][obs]++
+		if b.predicted == obs {
+			continue
+		}
+		a := BranchAudit{
+			PC: pc, Hinted: b.hinted,
+			Predicted: b.predicted, Observed: obs,
+			Accesses: b.accesses,
+		}
+		if b.accesses > 0 {
+			a.Ratio = float64(b.shadowHits) / float64(b.accesses)
+		}
+		mismatches = append(mismatches, a)
+	}
+	sort.SliceStable(mismatches, func(i, j int) bool {
+		if mismatches[i].Accesses != mismatches[j].Accesses {
+			return mismatches[i].Accesses > mismatches[j].Accesses
+		}
+		return mismatches[i].PC < mismatches[j].PC
+	})
+	if len(mismatches) > topN {
+		mismatches = mismatches[:topN]
+	}
+	rep.TopMismatches = mismatches
+
+	rep.Windows = ringSlice(r.windows, r.winHead)
+	rep.WindowsDropped = r.winTotal - uint64(len(rep.Windows))
+	return rep
+}
+
+// WriteText renders a human-readable hint-quality report (the btbsim
+// -hintqual output): coverage, the per-bucket confusion matrix, drift
+// epochs, and the topN most-executed mismatched branches.
+func (r *Recorder) WriteText(w io.Writer, topN int) error {
+	rep := r.Report(topN)
+	var err error
+	p := func(format string, args ...any) {
+		if err == nil {
+			_, err = fmt.Fprintf(w, format, args...)
+		}
+	}
+	s := &rep.Summary
+	p("hint-quality report (policy=%s, %d sets x %d ways, %d buckets)\n",
+		rep.Policy, rep.Sets, rep.Ways, rep.Categories)
+	p("  demand accesses   %12d over %d static branches\n", s.Accesses, s.Branches)
+	p("  hint coverage     %11.2f%% of accesses, %.2f%% of branches\n",
+		100*s.CoverageAccesses, 100*s.CoverageBranches)
+	p("  hint accuracy     %11.2f%% of branches, %.2f%% of accesses\n",
+		100*s.AccuracyBranches, 100*s.AccuracyAccesses)
+	p("    over-predicted  %12d branches (profiled hotter than observed)\n", s.OverPredicted)
+	p("    under-predicted %12d branches (profiled colder than observed)\n", s.UnderPredicted)
+	p("  confusion matrix (branches, profiled bucket x observed bucket)\n")
+	for i, row := range rep.ConfusionBranches {
+		p("    profiled %d:", i)
+		for _, n := range row {
+			p(" %10d", n)
+		}
+		p("\n")
+	}
+	p("  drift windows     %12d closed, %d flagged (L1 > %.2f), max L1 %.3f\n",
+		s.Windows, s.DriftEpochs, rep.Threshold, s.MaxWindowL1)
+	if len(rep.TopMismatches) > 0 {
+		p("  top mismatched branches (by demand accesses)\n")
+		p("    %-18s %9s %8s %8s %10s %7s\n", "pc", "profiled", "observed", "hinted", "accesses", "ratio")
+		for i := range rep.TopMismatches {
+			b := &rep.TopMismatches[i]
+			p("    %-#18x %9d %8d %8t %10d %7.3f\n",
+				b.PC, b.Predicted, b.Observed, b.Hinted, b.Accesses, b.Ratio)
+		}
+	}
+	p("  window ring: %d retained, %d dropped\n", len(rep.Windows), rep.WindowsDropped)
+	return err
+}
+
+// WriteWindowsCSV emits the retained drift windows as CSV: one row per
+// window with bounds, access count, the two distributions, L1, and flag.
+func (r *Recorder) WriteWindowsCSV(w io.Writer) error {
+	rep := r.Report(1)
+	var err error
+	p := func(format string, args ...any) {
+		if err == nil {
+			_, err = fmt.Fprintf(w, format, args...)
+		}
+	}
+	p("start_instr,end_instr,accesses")
+	for i := 0; i < rep.Categories; i++ {
+		p(",predicted_%d", i)
+	}
+	for i := 0; i < rep.Categories; i++ {
+		p(",observed_%d", i)
+	}
+	p(",l1,drift\n")
+	for i := range rep.Windows {
+		row := &rep.Windows[i]
+		p("%d,%d,%d", row.StartInstr, row.EndInstr, row.Accesses)
+		for _, v := range row.Predicted {
+			p(",%d", v)
+		}
+		for _, v := range row.Observed {
+			p(",%d", v)
+		}
+		p(",%.6f,%t\n", row.L1, row.Drift)
+	}
+	return err
+}

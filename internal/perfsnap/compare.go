@@ -137,3 +137,45 @@ func (r *Report) WriteText(w io.Writer) error {
 	_, err := fmt.Fprintf(w, "%d regression(s) at >%.0f%% threshold\n", r.Regressions, r.Threshold*100)
 	return err
 }
+
+// WriteMarkdown renders the comparison as a GitHub-flavored markdown table —
+// the shape CI appends to $GITHUB_STEP_SUMMARY. Cell values are generated
+// here (policy/app names come from the benchmark grid, not user input), so no
+// escaping is needed.
+func (r *Report) WriteMarkdown(w io.Writer) error {
+	p := func(format string, args ...any) error {
+		_, err := fmt.Fprintf(w, format, args...)
+		return err
+	}
+	if err := p("### Bench trajectory (threshold %.0f%%)\n\n", r.Threshold*100); err != nil {
+		return err
+	}
+	if err := p("| policy | app | old score | new score | delta | verdict |\n|---|---|---:|---:|---:|---|\n"); err != nil {
+		return err
+	}
+	for _, row := range r.Rows {
+		delta := "~"
+		if row.Significant && row.Ratio > 0 {
+			delta = fmt.Sprintf("%+.1f%%", (row.Ratio-1)*100)
+		}
+		verdict := row.Verdict
+		if verdict == VerdictRegression {
+			verdict = "**" + verdict + "**"
+		}
+		if err := p("| %s | %s | %.4f | %.4f | %s | %s |\n",
+			row.Policy, row.App, row.OldScore, row.NewScore, delta, verdict); err != nil {
+			return err
+		}
+	}
+	for _, key := range r.OnlyOld {
+		if err := p("| %s | | | | | **MISSING from new snapshot** |\n", key); err != nil {
+			return err
+		}
+	}
+	for _, key := range r.OnlyNew {
+		if err := p("| %s | | | | | new cell (no baseline) |\n", key); err != nil {
+			return err
+		}
+	}
+	return p("\n%d regression(s) at >%.0f%% threshold\n", r.Regressions, r.Threshold*100)
+}

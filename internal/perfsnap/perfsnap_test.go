@@ -146,6 +146,19 @@ func TestCompareSyntheticRegression(t *testing.T) {
 	if !strings.Contains(buf.String(), "REGRESSION") || !strings.Contains(buf.String(), "1 regression(s)") {
 		t.Fatalf("report text:\n%s", buf.String())
 	}
+
+	// The markdown rendering (the CI step-summary shape) carries the same
+	// verdict, bolded, in a well-formed table.
+	buf.Reset()
+	if err := rep.WriteMarkdown(&buf); err != nil {
+		t.Fatal(err)
+	}
+	md := buf.String()
+	for _, want := range []string{"| policy | app |", "| lru | kafka |", "**REGRESSION**", "1 regression(s)"} {
+		if !strings.Contains(md, want) {
+			t.Fatalf("markdown report missing %q:\n%s", want, md)
+		}
+	}
 }
 
 func TestCompareWithinNoiseOrThreshold(t *testing.T) {

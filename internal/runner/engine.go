@@ -287,16 +287,30 @@ func (e *Engine) setGauges() {
 // engine's own runner_cache_hits/misses (which count only engine-level
 // lookups, not disk promotions or evictions).
 func (e *Engine) publishCacheStats() {
-	if e.Metrics == nil || e.Cache == nil {
+	m := e.Metrics
+	if m == nil {
 		return
 	}
-	st := e.Cache.Stats()
-	e.Metrics.SetCounter("runner_cache_mem_hits", st.Hits)
-	e.Metrics.SetCounter("runner_cache_disk_hits", st.DiskHits)
-	e.Metrics.SetCounter("runner_cache_lookup_misses", st.Misses)
-	e.Metrics.SetCounter("runner_cache_evictions", st.Evictions)
-	e.Metrics.SetCounter("runner_cache_disk_errors", st.DiskErrors)
-	e.Metrics.Gauge("runner_cache_size").Set(uint64(e.Cache.Len()))
+	if e.Cache != nil {
+		st := e.Cache.Stats()
+		m.SetCounter("runner_cache_mem_hits", st.Hits)
+		m.SetCounter("runner_cache_disk_hits", st.DiskHits)
+		m.SetCounter("runner_cache_lookup_misses", st.Misses)
+		m.SetCounter("runner_cache_evictions", st.Evictions)
+		m.SetCounter("runner_cache_disk_errors", st.DiskErrors)
+		m.Gauge("runner_cache_size").Set(uint64(e.Cache.Len()))
+	}
+	// The package-level trace/hint caches are shared by every Engine, so
+	// their counters are process totals, not per-engine.
+	tr, ht, trLen, htLen := sharedCacheStats()
+	m.SetCounter("runner_trace_cache_hits", tr.hits)
+	m.SetCounter("runner_trace_cache_misses", tr.misses)
+	m.SetCounter("runner_trace_cache_evictions", tr.evictions)
+	m.Gauge("runner_trace_cache_size").Set(uint64(trLen))
+	m.SetCounter("runner_hint_cache_hits", ht.hits)
+	m.SetCounter("runner_hint_cache_misses", ht.misses)
+	m.SetCounter("runner_hint_cache_evictions", ht.evictions)
+	m.Gauge("runner_hint_cache_size").Set(uint64(htLen))
 }
 
 // PublishMetrics pre-registers the engine's metric surface (counters at

@@ -5,8 +5,10 @@ import (
 	"sync"
 
 	"thermometer/internal/core"
+	"thermometer/internal/hintqual"
 	"thermometer/internal/profile"
 	"thermometer/internal/replay"
+	"thermometer/internal/telemetry"
 	"thermometer/internal/trace"
 	"thermometer/internal/workload"
 )
@@ -38,6 +40,11 @@ type Outcome struct {
 	RedirectStall    uint64 `json:"redirect_stall,omitempty"`
 	ICacheStall      uint64 `json:"icache_stall,omitempty"`
 	DataStall        uint64 `json:"data_stall,omitempty"`
+
+	// HintQual is the hint-quality audit summary, present only when the
+	// spec requested it. Like every other field it is a pure function of
+	// the normalized spec (the audit taps a deterministic Belady shadow).
+	HintQual *hintqual.Summary `json:"hintqual,omitempty"`
 }
 
 // traceSlot and hintSlot are single-flight cache entries: the map lookup
@@ -62,13 +69,37 @@ type hintSlot struct {
 const (
 	maxCachedTraces     = 64
 	maxCachedHintTables = 256
+
+	// hintQualEpochInterval is the drift-window width (in retired
+	// instructions) for hintqual-enabled jobs. Fixed so outcomes stay pure
+	// functions of the spec.
+	hintQualEpochInterval = 20000
 )
 
 var (
 	cacheMu    sync.Mutex
 	traces     map[string]*traceSlot
 	hintTables map[string]*hintSlot
+
+	// Shared-cache traffic counters, published on /metrics by
+	// Engine.publishCacheStats. An eviction here is one dropped map entry
+	// (the whole map is dropped at once on overflow).
+	traceCacheStats cacheTraffic // guarded by cacheMu
+	hintCacheStats  cacheTraffic // guarded by cacheMu
 )
+
+// cacheTraffic counts lookups against one package-level single-flight cache.
+type cacheTraffic struct {
+	hits, misses, evictions uint64
+}
+
+// sharedCacheStats snapshots the package-level cache counters and current
+// sizes for metrics export.
+func sharedCacheStats() (tr, ht cacheTraffic, trLen, htLen int) {
+	cacheMu.Lock()
+	defer cacheMu.Unlock()
+	return traceCacheStats, hintCacheStats, len(traces), len(hintTables)
+}
 
 // trace returns (and caches) the trace for a normalized spec. Concurrent
 // requests for the same trace generate it exactly once.
@@ -76,6 +107,7 @@ func (e *Engine) trace(s Spec) *trace.Trace {
 	key := fmt.Sprintf("%s/%s/%d#%d/%d", s.Suite, s.App, s.Index, s.Input, s.Scale)
 	cacheMu.Lock()
 	if len(traces) >= maxCachedTraces {
+		traceCacheStats.evictions += uint64(len(traces))
 		traces = nil
 	}
 	if traces == nil {
@@ -83,8 +115,11 @@ func (e *Engine) trace(s Spec) *trace.Trace {
 	}
 	slot := traces[key]
 	if slot == nil {
+		traceCacheStats.misses++
 		slot = &traceSlot{}
 		traces[key] = slot
+	} else {
+		traceCacheStats.hits++
 	}
 	cacheMu.Unlock()
 	slot.once.Do(func() {
@@ -112,6 +147,7 @@ func (e *Engine) hints(s Spec, tr *trace.Trace) (*profile.HintTable, error) {
 	key := fmt.Sprintf("%s/%s/%d#%d/%d@%dx%d", s.Suite, s.App, s.Index, s.Input, s.Scale, entries, s.BTBWays)
 	cacheMu.Lock()
 	if len(hintTables) >= maxCachedHintTables {
+		hintCacheStats.evictions += uint64(len(hintTables))
 		hintTables = nil
 	}
 	if hintTables == nil {
@@ -119,8 +155,11 @@ func (e *Engine) hints(s Spec, tr *trace.Trace) (*profile.HintTable, error) {
 	}
 	slot := hintTables[key]
 	if slot == nil {
+		hintCacheStats.misses++
 		slot = &hintSlot{}
 		hintTables[key] = slot
+	} else {
+		hintCacheStats.hits++
 	}
 	cacheMu.Unlock()
 	slot.once.Do(func() {
@@ -180,6 +219,16 @@ func (e *Engine) execute(s Spec, sc spanScope) (*Outcome, error) {
 		cfg.BTBSets = s.BTBSets
 		cfg.NewPolicy = policies[s.Policy]
 		cfg.Hints = ht
+		var hq *hintqual.Recorder
+		if s.HintQual {
+			// A minimal observer supplies the epoch grid the drift windows
+			// close on; no event tracing, so the tap stays cheap. The audit
+			// never perturbs the simulated numbers (pinned by
+			// TestHintQualObservationGolden).
+			hq = hintqual.New(hintqual.Options{})
+			cfg.HintQual = hq
+			cfg.Observer = telemetry.New(telemetry.Options{EpochInterval: hintQualEpochInterval})
+		}
 		r := core.Run(tr, cfg)
 		sim.EndDetail("timing")
 		agg := sc.start("aggregate")
@@ -196,6 +245,10 @@ func (e *Engine) execute(s Spec, sc spanScope) (*Outcome, error) {
 		out.RedirectStall = r.RedirectStall
 		out.ICacheStall = r.ICacheStall
 		out.DataStall = r.DataStall
+		if hq != nil {
+			sum := hq.Summary()
+			out.HintQual = &sum
+		}
 		agg.End()
 	}
 	return out, nil

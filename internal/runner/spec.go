@@ -47,6 +47,11 @@ type Spec struct {
 	// Hints attaches profile-guided temperature hints (profiled offline at
 	// the job's BTB geometry, or HintEntries when set).
 	Hints bool `json:"hints,omitempty"`
+	// HintQual audits the attached hint table live (see package hintqual)
+	// and embeds the hint-quality summary in the outcome. Requires Hints
+	// and timing mode. The audit is a pure tap: the simulated numbers are
+	// byte-identical with or without it.
+	HintQual bool `json:"hintqual,omitempty"`
 
 	// BTBEntries/BTBWays give the BTB geometry (default Table 1: 8192×4).
 	BTBEntries int `json:"btb_entries,omitempty"`
@@ -144,6 +149,14 @@ func (s Spec) Normalized() (Spec, error) {
 	}
 	if s.BTBSets < 0 || s.HintEntries < 0 {
 		return s, fmt.Errorf("btb_sets and hint_entries must be non-negative")
+	}
+	if s.HintQual {
+		if !s.Hints {
+			return s, fmt.Errorf("hintqual requires hints (there is no hint table to audit)")
+		}
+		if s.Mode != ModeTiming {
+			return s, fmt.Errorf("hintqual requires timing mode")
+		}
 	}
 	return s, nil
 }

@@ -60,6 +60,11 @@ failed<span class="failed"></span> canceled<span class="canceled"></span></div>
 <div id="bar"><div></div></div>
 <div id="stats"></div>
 <div id="grid"></div>
+<h2 id="hqtitle" hidden>hint quality</h2>
+<table id="hq" hidden><thead><tr>
+<th>spec</th><th>trace</th><th>policy</th><th>coverage</th><th>accuracy</th>
+<th>over</th><th>under</th><th>drift</th>
+</tr></thead><tbody></tbody></table>
 <table id="log"><tbody></tbody></table>
 <script>
 let selected = null, source = null, cells = [];
@@ -113,14 +118,42 @@ async function select(id) {
     grid.appendChild(d);
     cells.push(d);
   }
+  renderHintQual(job);
   source = new EventSource('/v1/jobs/' + id + '/events');
   source.addEventListener('progress', e => applyProgress(JSON.parse(e.data)));
   source.addEventListener('state', e => applyState(JSON.parse(e.data)));
   source.addEventListener('end', () => { source.close(); source = null; });
 }
 
+// renderHintQual lists the hint-quality audit summaries of a finished job's
+// results (specs submitted with "hintqual": true). Same textContent-only
+// discipline as the rest of the page.
+function renderHintQual(job) {
+  const rows = [];
+  (job.results || []).forEach((r, i) => {
+    const hq = r.outcome && r.outcome.hintqual;
+    if (!hq) return;
+    rows.push([i, r.outcome.trace, r.spec.policy || 'lru',
+      (100 * hq.coverage_accesses).toFixed(1) + '%',
+      (100 * hq.accuracy_branches).toFixed(1) + '%',
+      hq.over_predicted, hq.under_predicted,
+      hq.drift_epochs + '/' + hq.windows + ' windows']);
+  });
+  const table = document.getElementById('hq');
+  const title = document.getElementById('hqtitle');
+  table.hidden = title.hidden = rows.length === 0;
+  const tbody = table.querySelector('tbody');
+  tbody.innerHTML = '';
+  rows.forEach(cells => tbody.appendChild(rowOf(cells)));
+}
+
 function applyState(ev) {
   logLine(ev.time, 'job ' + ev.state);
+  // Results (and their hint-quality summaries) land with the terminal state.
+  if ((ev.state === 'done' || ev.state === 'canceled') && selected) {
+    fetch('/v1/jobs/' + selected).then(r => r.ok ? r.json() : null)
+      .then(job => { if (job && job.id === selected) renderHintQual(job); });
+  }
 }
 
 function applyProgress(ev) {

@@ -170,6 +170,8 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 
 	notify, cancel := s.watch(id)
 	defer cancel()
+	keepalive := time.NewTicker(s.opts.KeepAlive)
+	defer keepalive.Stop()
 	for {
 		evs, terminal := s.eventsSince(id, cursor)
 		for _, ev := range evs {
@@ -193,6 +195,14 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 		}
 		select {
 		case <-notify:
+		case <-keepalive.C:
+			// An SSE comment: no id, no event, no data — clients (and the
+			// Last-Event-ID resume protocol) ignore it entirely; it exists
+			// only to keep intermediaries from timing out the connection.
+			if _, err := fmt.Fprint(w, ": keepalive\n\n"); err != nil {
+				return // client gone
+			}
+			fl.Flush()
 		case <-r.Context().Done():
 			return
 		}

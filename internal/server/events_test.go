@@ -362,3 +362,81 @@ func TestSSEHostileLastEventID(t *testing.T) {
 	c.waitEnd(t)
 	c.cancel()
 }
+
+// TestSSEKeepAlive freezes a sweep and watches the raw byte stream: an idle
+// connection must receive ": keepalive" comment frames, and because comments
+// carry no id: line they must not disturb Last-Event-ID resume afterwards.
+func TestSSEKeepAlive(t *testing.T) {
+	fr := &progressRunner{step: make(chan struct{})}
+	s := newTestServer(t, fr, Options{KeepAlive: 20 * time.Millisecond})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	post(t, s.Handler(), `[{"app":"kafka"}]`)
+	waitState(t, s, "job-000001", StateRunning)
+
+	// Read the stream raw: dialSSE's parser skips comments by design, and
+	// this test is about the bytes on the wire.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, "GET", ts.URL+"/v1/jobs/job-000001/events", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+
+	lines := make(chan string, 64)
+	go func() {
+		defer close(lines)
+		sc := bufio.NewScanner(resp.Body)
+		for sc.Scan() {
+			lines <- sc.Text()
+		}
+	}()
+	keepalives, maxSeq := 0, -1
+	deadline := time.After(5 * time.Second)
+	for keepalives < 3 {
+		select {
+		case line, ok := <-lines:
+			if !ok {
+				t.Fatal("stream closed before any keepalive")
+			}
+			if line == ": keepalive" {
+				keepalives++
+			}
+			if n, found := strings.CutPrefix(line, "id: "); found {
+				seq, err := strconv.Atoi(n)
+				if err != nil {
+					t.Fatalf("malformed id line %q", line)
+				}
+				maxSeq = seq
+			}
+		case <-deadline:
+			t.Fatalf("saw only %d keepalives on an idle stream", keepalives)
+		}
+	}
+	// The frozen sweep emitted exactly queued, running, spec-0 started — the
+	// keepalives must not have minted any event IDs beyond that.
+	if maxSeq != 2 {
+		t.Fatalf("idle stream advanced the event log: max seq %d, want 2", maxSeq)
+	}
+	cancel()
+
+	// Finish the job, then resume from mid-log: the replay must pick up at
+	// exactly seq 3 — keepalive comments left no trace in the sequence space.
+	fr.step <- struct{}{}
+	waitState(t, s, "job-000001", StateDone)
+	c := dialSSE(t, ts.URL, "job-000001", "2")
+	defer c.cancel()
+	if ev := c.next(t); ev.Seq != 3 || ev.Progress == nil || ev.Progress.State != "done" {
+		t.Fatalf("resume after keepalives: %+v", ev)
+	}
+	if ev := c.next(t); ev.Seq != 4 || ev.State != StateDone {
+		t.Fatalf("resume tail: %+v", ev)
+	}
+	c.waitEnd(t)
+}

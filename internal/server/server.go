@@ -88,6 +88,12 @@ type Options struct {
 	// and sweep (dispatch→finish) under a root job span, with IDs derived
 	// from the job ID so repeat submissions trace identically.
 	Spans *span.Tracer
+	// KeepAlive is the idle interval after which the jobs SSE stream emits a
+	// ": keepalive" comment so proxies and load balancers don't reap quiet
+	// connections (long sweeps can go minutes between events). Comments carry
+	// no id: line, so they are invisible to Last-Event-ID resume. <= 0 means
+	// the 15s default.
+	KeepAlive time.Duration
 }
 
 // Sentinel submission failures; the HTTP layer maps them to status codes.
@@ -133,6 +139,9 @@ func New(r SweepRunner, opts Options) *Server {
 	}
 	if opts.Clock == nil {
 		opts.Clock = time.Now
+	}
+	if opts.KeepAlive <= 0 {
+		opts.KeepAlive = 15 * time.Second
 	}
 	s := &Server{
 		runner:    r,
