@@ -11,6 +11,11 @@
 //
 //	benchsnap -compare BENCH_0.json -o bench-new.json
 //
+// Gate against the newest BENCH_<n>.json in the current directory (numeric
+// order, so BENCH_10 beats BENCH_2; see perfsnap.NewestBaseline):
+//
+//	benchsnap -compare latest -o bench-new.json
+//
 // Diff two existing snapshots without measuring:
 //
 //	benchsnap -compare BENCH_0.json -with bench-new.json
@@ -57,7 +62,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	fs.SetOutput(stderr)
 	var (
 		out       = fs.String("o", "", "write the measured snapshot to this file (default: stdout when not comparing)")
-		compare   = fs.String("compare", "", "baseline snapshot to gate against")
+		compare   = fs.String("compare", "", `baseline snapshot to gate against ("latest": the newest BENCH_<n>.json in the current directory)`)
 		with      = fs.String("with", "", "with -compare: diff this snapshot file instead of measuring")
 		samples   = fs.Int("samples", 5, "timed iterations per grid cell")
 		warmup    = fs.Int("warmup", 1, "discarded warm-up iterations per grid cell")
@@ -77,6 +82,16 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 	if *samples < 1 {
 		return fmt.Errorf("-samples must be >= 1")
+	}
+	if *compare == "latest" {
+		// The selection rule (numeric BENCH_<n> order) lives in perfsnap with
+		// its own tests; CI invokes this instead of shelling out to sort -V.
+		newest, err := perfsnap.NewestBaseline(".")
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(stderr, "comparing against newest baseline:", newest)
+		*compare = newest
 	}
 
 	var snap *perfsnap.Snapshot

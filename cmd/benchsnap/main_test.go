@@ -70,6 +70,48 @@ func TestCompareCleanPasses(t *testing.T) {
 	}
 }
 
+// TestCompareLatest pins the CI entry point: -compare latest resolves to the
+// newest BENCH_<n>.json (numeric order) in the current directory.
+func TestCompareLatest(t *testing.T) {
+	dir := t.TempDir()
+	writeSnap(t, dir, "BENCH_2.json", 100, []float64{1.00e6, 1.01e6, 0.99e6, 1.02e6, 0.98e6})
+	// BENCH_10 is the newest despite sorting lexically before BENCH_2; it
+	// holds a 2x-regressed baseline, so the gate only fails if "latest"
+	// really picks it. The -with snapshot matches BENCH_2 exactly.
+	writeSnap(t, dir, "BENCH_10.json", 100, []float64{0.50e6, 0.51e6, 0.49e6, 0.52e6, 0.48e6})
+	fresh := writeSnap(t, dir, "new.json", 100, []float64{1.00e6, 1.01e6, 0.99e6, 1.02e6, 0.98e6})
+
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chdir(dir); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := os.Chdir(wd); err != nil {
+			t.Fatal(err)
+		}
+	}()
+
+	var out, errBuf bytes.Buffer
+	if err := run([]string{"-compare", "latest", "-with", fresh}, &out, &errBuf); err == nil {
+		t.Fatalf("gate passed against BENCH_10; 'latest' picked the wrong baseline\n%s", errBuf.String())
+	}
+	if !strings.Contains(errBuf.String(), "BENCH_10.json") {
+		t.Fatalf("latest resolved to the wrong file:\n%s", errBuf.String())
+	}
+
+	// An empty directory must fail loudly, not skip the gate.
+	emptyDir := t.TempDir()
+	if err := os.Chdir(emptyDir); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-compare", "latest", "-with", fresh}, &out, &errBuf); err == nil {
+		t.Fatal("-compare latest with no baseline accepted")
+	}
+}
+
 func TestBadFlagCombos(t *testing.T) {
 	var out, errBuf bytes.Buffer
 	if err := run([]string{"-with", "x.json"}, &out, &errBuf); err == nil {

@@ -1,0 +1,374 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"thermometer/internal/runner"
+)
+
+// The multi-process golden test: the same 4-policy × 8-workload grid must
+// produce byte-identical JSON and CSV output from
+//
+//   - a single-node in-process engine,
+//   - a coordinator with 1 worker process,
+//   - a coordinator with 3 worker processes, and
+//   - a coordinator with 3 worker processes, one SIGKILLed mid-sweep
+//     (its leases expire and requeue onto the survivors).
+//
+// This is the fabric's determinism contract ("any fleet size, any worker
+// death schedule") pinned end to end through real thermod binaries.
+
+var (
+	buildOnce sync.Once
+	buildBin  string
+	buildErr  error
+)
+
+// thermodBin builds the thermod binary once per test run.
+func thermodBin(t *testing.T) string {
+	t.Helper()
+	buildOnce.Do(func() {
+		dir, err := os.MkdirTemp("", "thermod-test-*")
+		if err != nil {
+			buildErr = err
+			return
+		}
+		buildBin = filepath.Join(dir, "thermod")
+		cmd := exec.Command("go", "build", "-o", buildBin, ".")
+		out, err := cmd.CombinedOutput()
+		if err != nil {
+			buildErr = fmt.Errorf("go build: %v\n%s", err, out)
+		}
+	})
+	if buildErr != nil {
+		t.Fatal(buildErr)
+	}
+	return buildBin
+}
+
+// proc is one spawned thermod process.
+type proc struct {
+	cmd  *exec.Cmd
+	addr string
+	url  string
+}
+
+var listenRe = regexp.MustCompile(`listening on ([^ ]+) `)
+
+// startThermod launches the binary with -addr 127.0.0.1:0 plus args and
+// waits for its "listening on" line to learn the bound address.
+func startThermod(t *testing.T, args ...string) *proc {
+	t.Helper()
+	cmd := exec.Command(thermodBin(t), append([]string{"-addr", "127.0.0.1:0"}, args...)...)
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	p := &proc{cmd: cmd}
+	t.Cleanup(func() {
+		if cmd.Process != nil {
+			_ = cmd.Process.Kill()
+		}
+		_ = cmd.Wait()
+	})
+
+	addrCh := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stderr)
+		for sc.Scan() {
+			line := sc.Text()
+			if m := listenRe.FindStringSubmatch(line); m != nil {
+				select {
+				case addrCh <- m[1]:
+				default:
+				}
+			}
+		}
+	}()
+	select {
+	case p.addr = <-addrCh:
+	case <-time.After(20 * time.Second):
+		t.Fatalf("thermod %v never reported its listen address", args)
+	}
+	p.url = "http://" + p.addr
+	return p
+}
+
+// goldenSpecs is the 4-policy × 8-workload grid in replay mode at a scale
+// that keeps each cell a few milliseconds.
+func goldenSpecs(t *testing.T) []runner.Spec {
+	t.Helper()
+	apps := []string{"cassandra", "clang", "drupal", "kafka", "mysql", "python", "tomcat", "wordpress"}
+	bases := make([]runner.Spec, len(apps))
+	for i, app := range apps {
+		bases[i] = runner.Spec{App: app, Mode: runner.ModeReplay, Scale: 64}
+	}
+	specs, err := runner.Grid(bases, []string{"lru", "srrip", "ghrp", "hawkeye"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return specs
+}
+
+// goldenBytes renders results the way cmd/btbsim does: the sink JSON and CSV
+// encodings whose byte-identity the engine pins across pool widths.
+func goldenBytes(t *testing.T, results []runner.Result) (string, string) {
+	t.Helper()
+	var j, c bytes.Buffer
+	if err := runner.WriteJSON(&j, results); err != nil {
+		t.Fatal(err)
+	}
+	if err := runner.WriteCSV(&c, results); err != nil {
+		t.Fatal(err)
+	}
+	return j.String(), c.String()
+}
+
+type jobDoc struct {
+	ID      string          `json:"id"`
+	State   string          `json:"state"`
+	Results []runner.Result `json:"results"`
+}
+
+// submitAndWait posts the specs to a coordinator and polls the job until it
+// reaches a terminal state, returning its results.
+func submitAndWait(t *testing.T, coordURL string, specs []runner.Spec, during func(jobID string)) []runner.Result {
+	t.Helper()
+	body, err := json.Marshal(specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(coordURL+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var job jobDoc
+	if err := json.NewDecoder(resp.Body).Decode(&job); err != nil || job.ID == "" {
+		t.Fatalf("submit: status %s, decode err %v, job %+v", resp.Status, err, job)
+	}
+	if during != nil {
+		during(job.ID)
+	}
+
+	deadline := time.Now().Add(3 * time.Minute)
+	for {
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s did not finish", job.ID)
+		}
+		res, err := http.Get(coordURL + "/v1/jobs/" + job.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var cur jobDoc
+		err = json.NewDecoder(res.Body).Decode(&cur)
+		res.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cur.State == "done" {
+			return cur.Results
+		}
+		if cur.State == "canceled" {
+			t.Fatalf("job %s canceled", job.ID)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// fabricState mirrors the fields of GET /fabric/v1/state the test reads.
+type fabricState struct {
+	Filled  int `json:"filled"`
+	Total   int `json:"total"`
+	Workers []struct {
+		Name   string `json:"name"`
+		Active int    `json:"active"`
+	} `json:"workers"`
+}
+
+func getFabricState(t *testing.T, coordURL string) fabricState {
+	t.Helper()
+	res, err := http.Get(coordURL + "/fabric/v1/state")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Body.Close()
+	var st fabricState
+	if err := json.NewDecoder(res.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// startFleet launches a coordinator and n named workers against it, and
+// waits until every worker is registered and ready.
+func startFleet(t *testing.T, n int) (*proc, []*proc) {
+	t.Helper()
+	coord := startThermod(t,
+		"-coordinator", "-heartbeat", "25ms", "-lease-ttl", "250ms", "-lease-size", "2")
+	workers := make([]*proc, n)
+	for i := range workers {
+		workers[i] = startThermod(t,
+			"-worker", coord.url, "-name", fmt.Sprintf("w%d", i), "-workers", "1")
+	}
+	deadline := time.Now().Add(20 * time.Second)
+	for _, w := range workers {
+		for {
+			if time.Now().After(deadline) {
+				t.Fatal("worker never became ready")
+			}
+			res, err := http.Get(w.url + "/readyz")
+			if err == nil {
+				ok := res.StatusCode == http.StatusOK
+				res.Body.Close()
+				if ok {
+					break
+				}
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+	return coord, workers
+}
+
+func TestFleetGoldenByteIdentity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns thermod processes and runs real sweeps")
+	}
+	specs := goldenSpecs(t)
+	single := (&runner.Engine{}).Sweep(context.Background(), specs)
+	wantJSON, wantCSV := goldenBytes(t, single)
+
+	run := func(t *testing.T, n int, during func(coordURL string, workers []*proc) func(string)) {
+		coord, workers := startFleet(t, n)
+		var hook func(string)
+		if during != nil {
+			hook = during(coord.url, workers)
+		}
+		results := submitAndWait(t, coord.url, specs, hook)
+		gotJSON, gotCSV := goldenBytes(t, results)
+		if gotJSON != wantJSON {
+			t.Fatalf("fleet JSON diverges from single-node (%d workers):\n%s",
+				n, firstDiff(wantJSON, gotJSON))
+		}
+		if gotCSV != wantCSV {
+			t.Fatalf("fleet CSV diverges from single-node (%d workers):\n%s",
+				n, firstDiff(wantCSV, gotCSV))
+		}
+	}
+
+	t.Run("one_worker", func(t *testing.T) { run(t, 1, nil) })
+	t.Run("three_workers", func(t *testing.T) { run(t, 3, nil) })
+	t.Run("three_workers_one_killed", func(t *testing.T) {
+		run(t, 3, func(coordURL string, workers []*proc) func(string) {
+			return func(string) {
+				// Wait until w0 holds leased jobs mid-sweep, then SIGKILL it.
+				// Its leases expire after the 250ms TTL and requeue onto the
+				// survivors; the merged output must not change by a byte.
+				deadline := time.Now().Add(30 * time.Second)
+				for {
+					st := getFabricState(t, coordURL)
+					active := 0
+					for _, w := range st.Workers {
+						if w.Name == "w0" {
+							active = w.Active
+						}
+					}
+					if active > 0 && st.Filled < st.Total {
+						break
+					}
+					if st.Filled == st.Total && st.Total > 0 {
+						t.Log("sweep finished before the kill window; death schedule not exercised")
+						return
+					}
+					if time.Now().After(deadline) {
+						t.Fatal("w0 never took a lease")
+					}
+					time.Sleep(5 * time.Millisecond)
+				}
+				if err := workers[0].cmd.Process.Signal(syscall.SIGKILL); err != nil {
+					t.Fatal(err)
+				}
+				t.Log("killed w0 mid-sweep")
+			}
+		})
+	})
+}
+
+// TestWorkerProbeEndpoints pins the worker process's serving surface:
+// /healthz is 200 from the start, /readyz flips to 200 only once the worker
+// has registered with its coordinator.
+func TestWorkerProbeEndpoints(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns thermod processes")
+	}
+	// A worker pointed at a dead coordinator: healthy but never ready.
+	orphan := startThermod(t, "-worker", "http://127.0.0.1:1", "-name", "orphan")
+	res, err := http.Get(orphan.url + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.Body.Close()
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("orphan /healthz = %d, want 200", res.StatusCode)
+	}
+	res, err = http.Get(orphan.url + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.Body.Close()
+	if res.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("orphan /readyz = %d, want 503", res.StatusCode)
+	}
+
+	// A real fleet: startFleet already asserts /readyz reaches 200.
+	coord, _ := startFleet(t, 1)
+	for _, path := range []string{"/healthz", "/readyz"} {
+		res, err := http.Get(coord.url + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res.Body.Close()
+		if res.StatusCode != http.StatusOK {
+			t.Fatalf("coordinator %s = %d, want 200", path, res.StatusCode)
+		}
+	}
+}
+
+// TestCoordinatorWorkerFlagConflict pins the mode guard.
+func TestCoordinatorWorkerFlagConflict(t *testing.T) {
+	err := run(config{coordinator: true, workerURL: "http://x"})
+	if err == nil || !strings.Contains(err.Error(), "mutually exclusive") {
+		t.Fatalf("err = %v, want mutual-exclusion error", err)
+	}
+}
+
+// firstDiff renders the first divergent line of two texts for readable
+// failures (the full documents are thousands of lines).
+func firstDiff(want, got string) string {
+	w := strings.Split(want, "\n")
+	g := strings.Split(got, "\n")
+	for i := 0; i < len(w) && i < len(g); i++ {
+		if w[i] != g[i] {
+			return fmt.Sprintf("line %d:\nwant: %s\ngot:  %s", i+1, w[i], g[i])
+		}
+	}
+	return fmt.Sprintf("lengths differ: want %d lines, got %d", len(w), len(g))
+}

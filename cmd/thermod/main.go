@@ -6,18 +6,33 @@
 //	GET  /v1/jobs              list jobs
 //	GET  /v1/jobs/{id}         job status + results
 //	GET  /v1/jobs/{id}/events  live job progress (Server-Sent Events)
+//	GET  /healthz              liveness probe (200 while the process serves)
+//	GET  /readyz               readiness probe (503 from the moment a drain starts)
 //	GET  /metrics              telemetry report (runner + serving metrics)
 //	GET  /debug/sweep          live sweep dashboard (per-job progress grid)
 //	GET  /debug/spans          lifecycle spans as Chrome trace JSON
 //	GET  /debug/pprof/         runtime profiles
 //
-// SIGINT/SIGTERM starts a graceful drain: new submissions get 503, queued
-// and running sweeps are given -drain to finish, then pending jobs are
-// canceled.
+// Fleet modes layer the distributed sweep fabric (internal/fabric) on the
+// same serving stack:
+//
+//	-coordinator           jobs are partitioned into leases and executed by
+//	                       remote workers; adds the /fabric/v1/* fleet API
+//	                       and the fleet panel on /debug/sweep. The jobs API
+//	                       and event streams are unchanged.
+//	-worker <url>          no jobs API; registers with the coordinator at
+//	                       <url>, heartbeats, executes leased jobs on a
+//	                       local engine, and serves /healthz, /readyz (ready
+//	                       once registered), and /metrics.
+//
+// SIGINT/SIGTERM starts a graceful drain: /readyz flips to 503 immediately,
+// new submissions get ErrDraining, queued and running sweeps are given
+// -drain to finish, then pending jobs are canceled.
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -28,78 +43,146 @@ import (
 	"syscall"
 	"time"
 
+	"thermometer/internal/fabric"
 	"thermometer/internal/runner"
 	"thermometer/internal/server"
 	"thermometer/internal/telemetry"
 	"thermometer/internal/telemetry/span"
 )
 
+// config collects every flag so the three modes share one validated bundle.
+type config struct {
+	addr      string
+	workers   int
+	queue     int
+	maxSpecs  int
+	cacheSize int
+	cacheDir  string
+	drain     time.Duration
+	spancap   int
+
+	coordinator bool
+	workerURL   string
+	name        string
+	leaseTTL    time.Duration
+	heartbeat   time.Duration
+	leaseSize   int
+}
+
 func main() {
-	var (
-		addr      = flag.String("addr", "localhost:8080", "listen address")
-		workers   = flag.Int("workers", 0, "engine pool width per sweep (0 = GOMAXPROCS)")
-		queue     = flag.Int("queue", 16, "max sweeps queued behind the running one")
-		maxSpecs  = flag.Int("maxspecs", 4096, "max specs in one submission")
-		cacheSize = flag.Int("cachesize", 4096, "in-memory result-cache capacity")
-		cacheDir  = flag.String("cachedir", "", "on-disk result-cache directory (empty = memory only)")
-		drain     = flag.Duration("drain", 30*time.Second, "graceful-drain timeout on SIGINT/SIGTERM")
-		spancap   = flag.Int("spancap", 16384, "lifecycle span ring capacity (0 = tracing off)")
-	)
+	var cfg config
+	flag.StringVar(&cfg.addr, "addr", "localhost:8080", "listen address")
+	flag.IntVar(&cfg.workers, "workers", 0, "engine pool width per sweep (0 = GOMAXPROCS)")
+	flag.IntVar(&cfg.queue, "queue", 16, "max sweeps queued behind the running one")
+	flag.IntVar(&cfg.maxSpecs, "maxspecs", 4096, "max specs in one submission")
+	flag.IntVar(&cfg.cacheSize, "cachesize", 4096, "in-memory result-cache capacity")
+	flag.StringVar(&cfg.cacheDir, "cachedir", "", "on-disk result-cache directory (empty = memory only)")
+	flag.DurationVar(&cfg.drain, "drain", 30*time.Second, "graceful-drain timeout on SIGINT/SIGTERM")
+	flag.IntVar(&cfg.spancap, "spancap", 16384, "lifecycle span ring capacity (0 = tracing off)")
+	flag.BoolVar(&cfg.coordinator, "coordinator", false, "run as fleet coordinator: lease jobs to remote workers instead of simulating locally")
+	flag.StringVar(&cfg.workerURL, "worker", "", "run as fleet worker for the coordinator at this base URL (e.g. http://host:8080)")
+	flag.StringVar(&cfg.name, "name", "", "worker label shown on the coordinator's fleet panel")
+	flag.DurationVar(&cfg.leaseTTL, "lease-ttl", fabric.DefaultLeaseTTL, "coordinator: heartbeat age after which a worker's jobs requeue")
+	flag.DurationVar(&cfg.heartbeat, "heartbeat", fabric.DefaultHeartbeat, "coordinator: heartbeat/poll interval advertised to workers")
+	flag.IntVar(&cfg.leaseSize, "lease-size", fabric.DefaultLeaseSize, "coordinator: max jobs per lease grant")
 	flag.Parse()
 
-	if err := run(*addr, *workers, *queue, *maxSpecs, *cacheSize, *cacheDir, *drain, *spancap); err != nil {
+	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "thermod:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, workers, queue, maxSpecs, cacheSize int, cacheDir string, drain time.Duration, spancap int) error {
-	cache, err := runner.NewCache(cacheSize, cacheDir)
+func run(cfg config) error {
+	if cfg.coordinator && cfg.workerURL != "" {
+		return errors.New("-coordinator and -worker are mutually exclusive")
+	}
+	if cfg.workerURL != "" {
+		return runWorker(cfg)
+	}
+	return runServer(cfg)
+}
+
+// runServer is the single-node and coordinator path: the full jobs API and
+// debug surface, with the sweep runner chosen by mode.
+func runServer(cfg config) error {
+	cache, err := runner.NewCache(cfg.cacheSize, cfg.cacheDir)
 	if err != nil {
 		return fmt.Errorf("result cache: %w", err)
 	}
 	obs := telemetry.New(telemetry.Options{})
 	// The span tracer is shared by the server (accept/queue/sweep spans) and
-	// the engine (per-job stage spans). A nil tracer is inert, so -spancap 0
-	// turns the whole surface off with no hot-path cost.
+	// the sweep runner (per-job or per-lease spans). A nil tracer is inert,
+	// so -spancap 0 turns the whole surface off with no hot-path cost.
 	var spans *span.Tracer
-	if spancap > 0 {
-		spans = span.New(func() int64 { return time.Now().UnixNano() }, spancap)
+	if cfg.spancap > 0 {
+		spans = span.New(func() int64 { return time.Now().UnixNano() }, cfg.spancap)
 	}
-	engine := &runner.Engine{
-		Workers:  workers,
-		Cache:    cache,
-		Metrics:  obs.Metrics,
-		NowNanos: func() int64 { return time.Now().UnixNano() },
-		Spans:    spans,
+
+	var sweeper server.SweepRunner
+	var coord *fabric.Coordinator
+	if cfg.coordinator {
+		coord, err = fabric.NewCoordinator(fabric.Options{
+			NowNanos:  func() int64 { return time.Now().UnixNano() },
+			LeaseTTL:  cfg.leaseTTL,
+			Heartbeat: cfg.heartbeat,
+			LeaseSize: cfg.leaseSize,
+			Cache:     cache,
+			Metrics:   obs.Metrics,
+			Spans:     spans,
+		})
+		if err != nil {
+			return fmt.Errorf("coordinator: %w", err)
+		}
+		sweeper = coord
+	} else {
+		engine := &runner.Engine{
+			Workers:  cfg.workers,
+			Cache:    cache,
+			Metrics:  obs.Metrics,
+			NowNanos: func() int64 { return time.Now().UnixNano() },
+			Spans:    spans,
+		}
+		engine.PublishMetrics()
+		sweeper = engine
 	}
-	engine.PublishMetrics()
-	srv := server.New(engine, server.Options{
-		QueueDepth: queue,
-		MaxSpecs:   maxSpecs,
+
+	srv := server.New(sweeper, server.Options{
+		QueueDepth: cfg.queue,
+		MaxSpecs:   cfg.maxSpecs,
 		Metrics:    obs.Metrics,
 		Spans:      spans,
 	})
 
 	// One mux serves the job API and the telemetry/debug surface.
-	handler := obs.Handler(
-		telemetry.Mount{Pattern: "/v1/jobs", Handler: srv},
-		telemetry.Mount{Pattern: "/debug/sweep", Handler: srv.Dashboard()},
-		telemetry.Mount{Pattern: "/debug/spans", Handler: http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+	mounts := []telemetry.Mount{
+		{Pattern: "/v1/jobs", Handler: srv},
+		{Pattern: "/healthz", Handler: srv.Healthz()},
+		{Pattern: "/readyz", Handler: srv.Readyz()},
+		{Pattern: "/debug/sweep", Handler: srv.Dashboard()},
+		{Pattern: "/debug/spans", Handler: http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
 			w.Header().Set("Content-Type", "application/json")
 			_ = spans.WriteChromeTrace(w)
 		})},
-	)
+	}
+	if coord != nil {
+		mounts = append(mounts, telemetry.Mount{Pattern: "/fabric/v1/", Handler: coord})
+	}
+	handler := obs.Handler(mounts...)
 
-	ln, err := net.Listen("tcp", addr)
+	ln, err := net.Listen("tcp", cfg.addr)
 	if err != nil {
 		return err
 	}
 	httpSrv := &http.Server{Handler: handler}
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- httpSrv.Serve(ln) }()
-	log.Printf("thermod listening on %s (workers=%d queue=%d cache=%d dir=%q)",
-		ln.Addr(), workers, queue, cacheSize, cacheDir)
+	mode := "single-node"
+	if cfg.coordinator {
+		mode = "coordinator"
+	}
+	log.Printf("thermod listening on %s (mode=%s workers=%d queue=%d cache=%d dir=%q)",
+		ln.Addr(), mode, cfg.workers, cfg.queue, cfg.cacheSize, cfg.cacheDir)
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
@@ -109,11 +192,71 @@ func run(addr string, workers, queue, maxSpecs, cacheSize int, cacheDir string, 
 	case <-ctx.Done():
 	}
 
-	log.Printf("thermod draining (timeout %s)", drain)
-	drainCtx, cancel := context.WithTimeout(context.Background(), drain)
+	log.Printf("thermod draining (timeout %s)", cfg.drain)
+	drainCtx, cancel := context.WithTimeout(context.Background(), cfg.drain)
 	defer cancel()
 	if err := srv.Shutdown(drainCtx); err != nil {
 		log.Printf("thermod drain incomplete: %v (pending jobs canceled)", err)
 	}
+	return httpSrv.Shutdown(context.Background())
+}
+
+// runWorker is the fleet-worker path: a local engine driven by leases from
+// the coordinator, with only the probe and metrics surface exposed.
+func runWorker(cfg config) error {
+	cache, err := runner.NewCache(cfg.cacheSize, cfg.cacheDir)
+	if err != nil {
+		return fmt.Errorf("result cache: %w", err)
+	}
+	obs := telemetry.New(telemetry.Options{})
+	engine := &runner.Engine{
+		Workers:  cfg.workers,
+		Cache:    cache,
+		Metrics:  obs.Metrics,
+		NowNanos: func() int64 { return time.Now().UnixNano() },
+	}
+	engine.PublishMetrics()
+	wk := &fabric.Worker{
+		Coordinator: cfg.workerURL,
+		Engine:      engine,
+		Name:        cfg.name,
+		Metrics:     obs.Metrics,
+	}
+
+	handler := obs.Handler(
+		telemetry.Mount{Pattern: "/healthz", Handler: server.ReadyFunc(func() bool { return true }, "")},
+		telemetry.Mount{Pattern: "/readyz", Handler: server.ReadyFunc(wk.Ready, "not registered with coordinator")},
+	)
+	ln, err := net.Listen("tcp", cfg.addr)
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{Handler: handler}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+	log.Printf("thermod listening on %s (mode=worker coordinator=%s workers=%d cache=%d dir=%q)",
+		ln.Addr(), cfg.workerURL, cfg.workers, cfg.cacheSize, cfg.cacheDir)
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	workerErr := make(chan error, 1)
+	go func() { workerErr <- wk.Run(ctx) }()
+
+	select {
+	case err := <-serveErr:
+		stop()
+		<-workerErr // Run returns once ctx is canceled by stop
+		return err
+	case err := <-workerErr:
+		if err != nil && !errors.Is(err, context.Canceled) {
+			_ = httpSrv.Shutdown(context.Background())
+			return err
+		}
+	case <-ctx.Done():
+		// Abandon the current lease (the coordinator's expiry requeues it)
+		// and stop advertising readiness before the listener closes.
+		<-workerErr
+	}
+	log.Printf("thermod worker stopping")
 	return httpSrv.Shutdown(context.Background())
 }

@@ -28,8 +28,10 @@ import (
 var Scope = regexp.MustCompile(`^thermometer/internal/`)
 
 // LoopScope selects the long-lived engine/serving packages whose select
-// loops must be cancelable. Tests override it.
-var LoopScope = regexp.MustCompile(`^thermometer/internal/(runner|server|telemetry)(/|$)`)
+// loops must be cancelable. fabric joined with the fleet worker: its
+// heartbeat and lease-poll loops run for the process lifetime and must die
+// with the worker's context. Tests override it.
+var LoopScope = regexp.MustCompile(`^thermometer/internal/(runner|server|telemetry|fabric)(/|$)`)
 
 // shutdownChan matches channel identifiers conventionally used to stop a
 // loop.

@@ -1,0 +1,638 @@
+package fabric
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"thermometer/internal/runner"
+	"thermometer/internal/telemetry"
+	"thermometer/internal/telemetry/span"
+)
+
+// Options configures a Coordinator.
+type Options struct {
+	// NowNanos is the injected clock (required). It feeds heartbeat ages and
+	// lease expiry only — never result content — which is what keeps this
+	// package inside the noambient determinism scope.
+	NowNanos func() int64
+	// LeaseTTL is the heartbeat age beyond which a worker is dead and its
+	// outstanding jobs requeue (<= 0: DefaultLeaseTTL).
+	LeaseTTL time.Duration
+	// Heartbeat is the beat/poll interval advertised to workers
+	// (<= 0: DefaultHeartbeat).
+	Heartbeat time.Duration
+	// LeaseSize is the maximum jobs per lease grant (<= 0: DefaultLeaseSize).
+	LeaseSize int
+	// Cache, when non-nil, is the fleet-shared content-addressed result
+	// store: consulted at partition time (a known key never leases), served
+	// to workers over GET/PUT, and filled by completed results.
+	Cache *runner.Cache
+	// Metrics, when non-nil, receives fabric_* counters and gauges.
+	Metrics *telemetry.Registry
+	// Spans, when non-nil, receives one lifecycle span per lease and per
+	// sweep, on the coordinator's injected clock.
+	Spans *span.Tracer
+}
+
+// Coordinator partitions sweeps into leases and merges worker results into
+// submission-order slots. It implements server.SweepRunner and
+// server.ProgressRunner, so it drops into the thermod serving stack exactly
+// where a *runner.Engine does. Create with NewCoordinator.
+type Coordinator struct {
+	opts Options
+
+	mu       sync.Mutex
+	workers  map[string]*workerInfo // guarded by mu
+	order    []string               // guarded by mu; registration order, for snapshots
+	seq      int                    // guarded by mu; worker ID sequence
+	leaseSeq int                    // guarded by mu; lease ID sequence
+	sweepSeq int                    // guarded by mu; sweep ID sequence
+	sweep    *sweepState            // guarded by mu; nil when idle
+}
+
+// workerInfo is the coordinator's view of one registered worker.
+type workerInfo struct {
+	id        string
+	name      string
+	lastBeat  int64 // NowNanos of the last call-in
+	dead      bool  // heartbeat age exceeded the lease TTL
+	completed int   // jobs accepted from this worker
+	failed    int   // accepted jobs that carried an error
+	steals    int   // jobs this worker stole from others
+	stolen    int   // jobs stolen from this worker
+	expired   int   // jobs requeued off this worker by lease expiry
+}
+
+// leaseInfo is one outstanding lease.
+type leaseInfo struct {
+	id      string
+	worker  string
+	granted int64        // NowNanos at grant
+	jobs    map[int]bool // outstanding sweep indices
+	stolen  bool         // grant was carved from another lease
+}
+
+// sweepState is the one in-flight sweep. The server dispatcher runs sweeps
+// strictly one at a time, so the coordinator holds a single slot.
+type sweepState struct {
+	id      string
+	specs   []runner.Spec // normalized; invalid slots hold the raw echo
+	keys    []string      // content address per slot ("" for invalid specs)
+	results []runner.Result
+	filled  []bool
+	started []bool // ProgressStarted emitted for this slot
+	pending []int  // FIFO of indices awaiting a lease
+	leases  map[string]*leaseInfo
+	remain  int
+	done    chan struct{}         // closed when remain hits 0
+	fn      func(runner.Progress) // may be nil
+}
+
+// NewCoordinator validates the options and returns an idle coordinator.
+func NewCoordinator(opts Options) (*Coordinator, error) {
+	if opts.NowNanos == nil {
+		return nil, fmt.Errorf("fabric: Options.NowNanos is required (inject the process clock)")
+	}
+	if opts.LeaseTTL <= 0 {
+		opts.LeaseTTL = DefaultLeaseTTL
+	}
+	if opts.Heartbeat <= 0 {
+		opts.Heartbeat = DefaultHeartbeat
+	}
+	if opts.LeaseSize <= 0 {
+		opts.LeaseSize = DefaultLeaseSize
+	}
+	if opts.LeaseSize > MaxLeaseJobs {
+		opts.LeaseSize = MaxLeaseJobs
+	}
+	c := &Coordinator{opts: opts, workers: make(map[string]*workerInfo)}
+	if m := opts.Metrics; m != nil {
+		for _, name := range []string{
+			"fabric_workers_registered", "fabric_leases_granted",
+			"fabric_leases_expired", "fabric_jobs_requeued",
+			"fabric_jobs_stolen", "fabric_results_accepted",
+			"fabric_results_duplicate", "fabric_results_rejected",
+			"fabric_cache_prehits",
+		} {
+			m.Counter(name)
+		}
+		m.Gauge("fabric_workers_live").Set(0)
+		m.Gauge("fabric_jobs_pending").Set(0)
+		m.Gauge("fabric_jobs_outstanding").Set(0)
+	}
+	return c, nil
+}
+
+// Sweep implements server.SweepRunner.
+func (c *Coordinator) Sweep(ctx context.Context, specs []runner.Spec) []runner.Result {
+	return c.SweepProgress(ctx, specs, nil)
+}
+
+// SweepProgress implements server.ProgressRunner: it partitions the grid,
+// serves coordinator-cache hits immediately, leases the rest to workers, and
+// blocks until every submission-order slot is filled or ctx is canceled
+// (canceling fails the unfilled slots exactly as the in-process engine
+// does). The returned slice is byte-identical to a single-node run of the
+// same specs at any fleet size and any worker death schedule.
+func (c *Coordinator) SweepProgress(ctx context.Context, specs []runner.Spec, fn func(runner.Progress)) []runner.Result {
+	st := &sweepState{
+		specs:   make([]runner.Spec, len(specs)),
+		keys:    make([]string, len(specs)),
+		results: make([]runner.Result, len(specs)),
+		filled:  make([]bool, len(specs)),
+		started: make([]bool, len(specs)),
+		leases:  make(map[string]*leaseInfo),
+		done:    make(chan struct{}),
+		fn:      fn,
+	}
+	var prog []runner.Progress
+	for i, sp := range specs {
+		norm, err := sp.Normalized()
+		if err != nil {
+			st.specs[i] = sp
+			st.results[i] = runner.Result{Spec: sp, Err: "invalid spec: " + err.Error()}
+			st.filled[i] = true
+			prog = append(prog,
+				runner.Progress{Index: i, State: runner.ProgressStarted},
+				runner.Progress{Index: i, State: runner.ProgressInvalid, Err: st.results[i].Err})
+			continue
+		}
+		key := norm.Key()
+		st.specs[i], st.keys[i] = norm, key
+		if c.opts.Cache != nil {
+			if out, ok := c.opts.Cache.Get(key); ok {
+				st.results[i] = runner.Result{Spec: norm, Key: key, Cached: true, Outcome: out}
+				st.filled[i] = true
+				c.count("fabric_cache_prehits", 1)
+				prog = append(prog,
+					runner.Progress{Index: i, State: runner.ProgressStarted},
+					terminalProgress(i, st.results[i]))
+				continue
+			}
+		}
+		st.pending = append(st.pending, i)
+		st.remain++
+	}
+
+	start := c.opts.NowNanos()
+	c.mu.Lock()
+	if c.sweep != nil {
+		c.mu.Unlock()
+		// The server dispatcher serializes sweeps, so this is a misuse, not
+		// a schedule; fail the whole grid loudly rather than interleave two
+		// sweeps' slots.
+		for i := range st.results {
+			if !st.filled[i] {
+				st.results[i] = runner.Result{Spec: st.specs[i], Key: st.keys[i], Err: "fabric: coordinator already has a sweep in flight"}
+			}
+		}
+		return st.results
+	}
+	c.sweepSeq++
+	st.id = fmt.Sprintf("sweep-%06d", c.sweepSeq)
+	// Decide installation before unlocking: the moment c.sweep is published,
+	// workers may Complete concurrently and decrement st.remain.
+	installed := st.remain > 0
+	if installed {
+		c.sweep = st
+	}
+	c.gaugesLocked()
+	c.mu.Unlock()
+	c.emit(st, prog)
+	if !installed {
+		c.recordSweepSpan(st.id, start, "done")
+		return st.results
+	}
+
+	select {
+	case <-st.done:
+		c.recordSweepSpan(st.id, start, "done")
+		return st.results
+	case <-ctx.Done():
+	}
+
+	// Canceled: fail every unfilled slot, matching the engine's wording so
+	// fleet and single-node canceled sweeps stay byte-identical.
+	c.mu.Lock()
+	var canceled []runner.Progress
+	for i := range st.results {
+		if st.filled[i] {
+			continue
+		}
+		st.results[i] = runner.Result{
+			Spec: st.specs[i], Key: st.keys[i],
+			Err: "canceled: " + ctx.Err().Error(),
+		}
+		st.filled[i] = true
+		if !st.started[i] {
+			canceled = append(canceled, runner.Progress{Index: i, State: runner.ProgressStarted})
+			st.started[i] = true
+		}
+		canceled = append(canceled, terminalProgress(i, st.results[i]))
+	}
+	st.remain = 0
+	c.sweep = nil
+	c.gaugesLocked()
+	c.mu.Unlock()
+	c.emit(st, canceled)
+	c.recordSweepSpan(st.id, start, "canceled")
+	return st.results
+}
+
+// terminalProgress mirrors the runner's terminal notification for a merged
+// result (the fabric builds results itself, so it classifies them itself).
+func terminalProgress(i int, r runner.Result) runner.Progress {
+	p := runner.Progress{Index: i, State: runner.ProgressDone, Cached: r.Cached, Key: r.Key, Err: r.Err}
+	switch {
+	case r.Err == "":
+		if r.Outcome != nil {
+			p.Instructions = r.Outcome.Instructions
+			p.Accesses = r.Outcome.Accesses
+		}
+	case len(r.Err) >= 8 && r.Err[:8] == "invalid ":
+		p.State = runner.ProgressInvalid
+	case len(r.Err) >= 8 && r.Err[:8] == "canceled":
+		p.State = runner.ProgressCanceled
+	default:
+		p.State = runner.ProgressFailed
+	}
+	return p
+}
+
+// emit delivers progress notifications outside the coordinator lock (the
+// server's recorder takes its own lock; holding ours across the callback
+// would nest them for no reason).
+func (c *Coordinator) emit(st *sweepState, ps []runner.Progress) {
+	if st.fn == nil {
+		return
+	}
+	for _, p := range ps {
+		st.fn(p)
+	}
+}
+
+// Register adds a worker and returns its identity plus fleet timing.
+func (c *Coordinator) Register(req RegisterRequest) RegisterResponse {
+	now := c.opts.NowNanos()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.seq++
+	w := &workerInfo{id: fmt.Sprintf("w-%06d", c.seq), name: req.Name, lastBeat: now}
+	c.workers[w.id] = w
+	c.order = append(c.order, w.id)
+	c.countLocked("fabric_workers_registered", 1)
+	c.gaugesLocked()
+	return RegisterResponse{
+		WorkerID:    w.id,
+		HeartbeatMs: c.opts.Heartbeat.Milliseconds(),
+		LeaseTTLMs:  c.opts.LeaseTTL.Milliseconds(),
+		LeaseSize:   c.opts.LeaseSize,
+	}
+}
+
+// Beat records a worker heartbeat. Unknown workers get false — the worker
+// should re-register (coordinator restarts forget the roster).
+func (c *Coordinator) Beat(hb Heartbeat) bool {
+	now := c.opts.NowNanos()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	w := c.workers[hb.WorkerID]
+	if w == nil {
+		return false
+	}
+	c.touchLocked(w, now)
+	c.expireLocked(now)
+	c.gaugesLocked()
+	return true
+}
+
+// touchLocked refreshes a worker's liveness; a beat from a worker declared
+// dead (a long GC pause, a partitioned network healing) revives it — its
+// old leases are gone, but it can take new ones. Callers hold c.mu.
+func (c *Coordinator) touchLocked(w *workerInfo, now int64) {
+	w.lastBeat = now
+	w.dead = false
+}
+
+// Lease grants up to req.Max (default: the configured lease size) pending
+// jobs to the worker. With nothing pending it tries to steal the un-started
+// tail of the largest outstanding lease; with nothing to steal it returns a
+// nil grant and the poll interval. Every lease call is also a heartbeat and
+// triggers the lazy expiry scan, so a dead worker's jobs requeue as soon as
+// any live worker asks for work.
+func (c *Coordinator) Lease(req LeaseRequest) (LeaseResponse, error) {
+	now := c.opts.NowNanos()
+	c.mu.Lock()
+	w := c.workers[req.WorkerID]
+	if w == nil {
+		c.mu.Unlock()
+		return LeaseResponse{}, fmt.Errorf("unknown worker %q (re-register)", req.WorkerID)
+	}
+	c.touchLocked(w, now)
+	c.expireLocked(now)
+	poll := LeaseResponse{PollMs: c.opts.Heartbeat.Milliseconds()}
+	st := c.sweep
+	if st == nil {
+		c.mu.Unlock()
+		return poll, nil
+	}
+	max := req.Max
+	if max <= 0 || max > c.opts.LeaseSize {
+		max = c.opts.LeaseSize
+	}
+	var take []int
+	stolen := false
+	if len(st.pending) > 0 {
+		n := min(max, len(st.pending))
+		take = append(take, st.pending[:n]...)
+		st.pending = st.pending[n:]
+	} else if victim := c.stealVictimLocked(st, req.WorkerID); victim != nil {
+		take = stealTailLocked(victim, max)
+		if len(take) > 0 {
+			stolen = true
+			w.steals += len(take)
+			c.workers[victim.worker].stolen += len(take)
+			c.countLocked("fabric_jobs_stolen", uint64(len(take)))
+		}
+	}
+	if len(take) == 0 {
+		c.gaugesLocked()
+		c.mu.Unlock()
+		return poll, nil
+	}
+	c.leaseSeq++
+	l := &leaseInfo{
+		id:      fmt.Sprintf("lease-%06d", c.leaseSeq),
+		worker:  req.WorkerID,
+		granted: now,
+		jobs:    make(map[int]bool, len(take)),
+		stolen:  stolen,
+	}
+	grant := &LeaseGrant{LeaseID: l.id, Sweep: st.id, Stolen: stolen}
+	var prog []runner.Progress
+	for _, i := range take {
+		l.jobs[i] = true
+		grant.Jobs = append(grant.Jobs, LeaseJob{Index: i, Key: st.keys[i], Spec: st.specs[i]})
+		if !st.started[i] {
+			st.started[i] = true
+			prog = append(prog, runner.Progress{Index: i, State: runner.ProgressStarted})
+		}
+	}
+	st.leases[l.id] = l
+	c.countLocked("fabric_leases_granted", 1)
+	c.gaugesLocked()
+	c.mu.Unlock()
+	c.emit(st, prog)
+	return LeaseResponse{Lease: grant}, nil
+}
+
+// stealVictimLocked picks the lease to steal from: the one with the most
+// outstanding jobs, ties broken by the lower lease ID (grant order), never
+// the requester's own. Callers hold c.mu.
+func (c *Coordinator) stealVictimLocked(st *sweepState, requester string) *leaseInfo {
+	var victim *leaseInfo
+	ids := make([]string, 0, len(st.leases))
+	for id := range st.leases {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		l := st.leases[id]
+		if l.worker == requester {
+			continue
+		}
+		if victim == nil || len(l.jobs) > len(victim.jobs) {
+			victim = l
+		}
+	}
+	if victim == nil || len(victim.jobs) < 2 {
+		// A single outstanding job is (presumably) being simulated right
+		// now; duplicating live work buys nothing — if its worker is dead,
+		// lease expiry recovers it.
+		return nil
+	}
+	return victim
+}
+
+// stealTailLocked carves the highest-index half of the victim's outstanding
+// jobs (workers execute ascending, so the tail is the least likely to be
+// running), capped at max and always leaving at least one job behind.
+// Callers hold c.mu.
+func stealTailLocked(victim *leaseInfo, max int) []int {
+	idxs := make([]int, 0, len(victim.jobs))
+	for i := range victim.jobs {
+		idxs = append(idxs, i)
+	}
+	sort.Ints(idxs)
+	k := len(idxs) / 2
+	if k > max {
+		k = max
+	}
+	if k == 0 {
+		return nil
+	}
+	take := idxs[len(idxs)-k:]
+	for _, i := range take {
+		delete(victim.jobs, i)
+	}
+	return take
+}
+
+// Complete merges a worker's results into their sweep slots. First write
+// wins: duplicates from steal or requeue races are counted and dropped (a
+// job is a pure function of its spec, so a duplicate is byte-identical
+// anyway). A result whose key does not match its slot is rejected. The
+// merged Result is rebuilt from the coordinator's own normalized spec and
+// the worker's outcome, so no worker-local field (its cache flag, its echo
+// of the spec) can perturb the merged bytes.
+func (c *Coordinator) Complete(req CompleteRequest) (CompleteResponse, error) {
+	now := c.opts.NowNanos()
+	c.mu.Lock()
+	w := c.workers[req.WorkerID]
+	if w == nil {
+		c.mu.Unlock()
+		return CompleteResponse{}, fmt.Errorf("unknown worker %q (re-register)", req.WorkerID)
+	}
+	c.touchLocked(w, now)
+	st := c.sweep
+	var resp CompleteResponse
+	if st == nil || st.id != req.Sweep {
+		// A stale sweep (canceled, finished, or a coordinator restart):
+		// nothing to merge. Count everything as duplicate-equivalent.
+		resp.Duplicates = len(req.Results)
+		c.mu.Unlock()
+		return resp, nil
+	}
+	lease := st.leases[req.LeaseID]
+	var prog []runner.Progress
+	var cachePuts []int
+	for _, jr := range req.Results {
+		i := jr.Index
+		if i >= len(st.results) || st.keys[i] == "" || jr.Result.Key != st.keys[i] {
+			resp.Rejected++
+			continue
+		}
+		if lease != nil {
+			delete(lease.jobs, i)
+		}
+		if st.filled[i] {
+			resp.Duplicates++
+			continue
+		}
+		merged := runner.Result{Spec: st.specs[i], Key: st.keys[i]}
+		if jr.State == runner.ProgressFailed || jr.Result.Err != "" {
+			if merged.Err = jr.Result.Err; merged.Err == "" {
+				merged.Err = "failed on " + req.WorkerID
+			}
+			w.failed++
+		} else {
+			if jr.Result.Outcome == nil {
+				resp.Rejected++
+				continue
+			}
+			merged.Outcome = jr.Result.Outcome
+			cachePuts = append(cachePuts, i)
+		}
+		st.results[i] = merged
+		st.filled[i] = true
+		st.remain--
+		w.completed++
+		resp.Accepted++
+		prog = append(prog, terminalProgress(i, merged))
+	}
+	if lease != nil && len(lease.jobs) == 0 {
+		delete(st.leases, req.LeaseID)
+		c.recordLeaseSpan(st.id, lease, now, "done")
+	}
+	finished := st.remain == 0
+	if finished {
+		c.sweep = nil
+	}
+	c.countLocked("fabric_results_accepted", uint64(resp.Accepted))
+	c.countLocked("fabric_results_duplicate", uint64(resp.Duplicates))
+	c.countLocked("fabric_results_rejected", uint64(resp.Rejected))
+	c.gaugesLocked()
+	c.mu.Unlock()
+
+	// Fill the shared cache outside the lock; workers also PUT directly, so
+	// this is belt-and-braces for engines running without the HTTP path.
+	if c.opts.Cache != nil {
+		for _, i := range cachePuts {
+			c.opts.Cache.Put(st.keys[i], st.results[i].Outcome)
+		}
+	}
+	c.emit(st, prog)
+	if finished {
+		close(st.done)
+	}
+	return resp, nil
+}
+
+// expireLocked requeues every outstanding job of workers whose heartbeat
+// age exceeds the lease TTL. Requeued indices re-enter the pending queue in
+// ascending order, keeping recovery schedules deterministic under the fake
+// clocks the tests inject. Callers hold c.mu.
+func (c *Coordinator) expireLocked(now int64) {
+	ttl := c.opts.LeaseTTL.Nanoseconds()
+	st := c.sweep
+	for _, id := range c.order {
+		w := c.workers[id]
+		if w.dead || now-w.lastBeat <= ttl {
+			continue
+		}
+		w.dead = true
+		if st == nil {
+			continue
+		}
+		leaseIDs := make([]string, 0, len(st.leases))
+		for lid, l := range st.leases {
+			if l.worker == w.id {
+				leaseIDs = append(leaseIDs, lid)
+			}
+		}
+		sort.Strings(leaseIDs)
+		for _, lid := range leaseIDs {
+			l := st.leases[lid]
+			idxs := make([]int, 0, len(l.jobs))
+			for i := range l.jobs {
+				idxs = append(idxs, i)
+			}
+			sort.Ints(idxs)
+			st.pending = append(st.pending, idxs...)
+			w.expired += len(idxs)
+			delete(st.leases, lid)
+			c.countLocked("fabric_leases_expired", 1)
+			c.countLocked("fabric_jobs_requeued", uint64(len(idxs)))
+			c.recordLeaseSpan(st.id, l, now, "expired")
+		}
+	}
+}
+
+func (c *Coordinator) recordLeaseSpan(sweepID string, l *leaseInfo, end int64, detail string) {
+	t := c.opts.Spans
+	if t == nil {
+		return
+	}
+	t.Record(span.Span{
+		Trace:  span.Derive(sweepID),
+		ID:     span.Derive(sweepID, l.id),
+		Parent: span.Derive(sweepID, "sweep"),
+		Name:   "lease",
+		Detail: detail + " " + l.worker,
+		Start:  l.granted,
+		Dur:    end - l.granted,
+	})
+}
+
+func (c *Coordinator) recordSweepSpan(sweepID string, start int64, detail string) {
+	t := c.opts.Spans
+	if t == nil {
+		return
+	}
+	end := c.opts.NowNanos()
+	t.Record(span.Span{
+		Trace:  span.Derive(sweepID),
+		ID:     span.Derive(sweepID, "sweep"),
+		Name:   "sweep",
+		Detail: detail,
+		Start:  start,
+		Dur:    end - start,
+	})
+}
+
+func (c *Coordinator) count(name string, n uint64) {
+	if c.opts.Metrics != nil {
+		c.opts.Metrics.Counter(name).Add(n)
+	}
+}
+
+// countLocked is count for call sites already holding c.mu (the registry
+// has its own synchronization; the split exists only to document intent).
+func (c *Coordinator) countLocked(name string, n uint64) { c.count(name, n) }
+
+// gaugesLocked republishes the fleet gauges. Callers hold c.mu.
+func (c *Coordinator) gaugesLocked() {
+	m := c.opts.Metrics
+	if m == nil {
+		return
+	}
+	live := 0
+	for _, w := range c.workers {
+		if !w.dead {
+			live++
+		}
+	}
+	pending, outstanding := 0, 0
+	if st := c.sweep; st != nil {
+		pending = len(st.pending)
+		for _, l := range st.leases {
+			outstanding += len(l.jobs)
+		}
+	}
+	m.Gauge("fabric_workers_live").Set(uint64(live))
+	m.Gauge("fabric_jobs_pending").Set(uint64(pending))
+	m.Gauge("fabric_jobs_outstanding").Set(uint64(outstanding))
+}

@@ -1,0 +1,533 @@
+package fabric
+
+import (
+	"context"
+	"encoding/json"
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"thermometer/internal/runner"
+	"thermometer/internal/telemetry"
+)
+
+// fakeClock is a deterministic NowNanos source the tests advance by hand.
+// atomic so the coordinator may read it from any goroutine.
+type fakeClock struct{ ns atomic.Int64 }
+
+func (c *fakeClock) now() int64              { return c.ns.Load() }
+func (c *fakeClock) advance(d time.Duration) { c.ns.Add(d.Nanoseconds()) }
+
+// progressLog collects progress notifications; the coordinator emits them
+// from the caller's goroutine and from worker-call goroutines.
+type progressLog struct {
+	mu  sync.Mutex
+	got []runner.Progress
+}
+
+func (l *progressLog) add(p runner.Progress) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.got = append(l.got, p)
+}
+
+func (l *progressLog) states(index int) []string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var s []string
+	for _, p := range l.got {
+		if p.Index == index {
+			s = append(s, p.State)
+		}
+	}
+	return s
+}
+
+func newTestCoordinator(t *testing.T, clk *fakeClock, opts Options) *Coordinator {
+	t.Helper()
+	opts.NowNanos = clk.now
+	if opts.Metrics == nil {
+		opts.Metrics = telemetry.NewRegistry()
+	}
+	c, err := NewCoordinator(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// specN returns the i-th of a family of distinct valid specs.
+func specN(i int) runner.Spec {
+	apps := []string{"cassandra", "clang", "drupal", "kafka", "mysql", "python", "tomcat", "wordpress"}
+	return runner.Spec{App: apps[i%len(apps)], Mode: runner.ModeReplay, Scale: 64, Input: i / len(apps)}
+}
+
+func keyOf(t *testing.T, s runner.Spec) string {
+	t.Helper()
+	n, err := s.Normalized()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n.Key()
+}
+
+// startSweep launches SweepProgress in the background and waits until the
+// coordinator has the sweep installed (or it finished immediately).
+func startSweep(t *testing.T, c *Coordinator, ctx context.Context, specs []runner.Spec, fn func(runner.Progress)) chan []runner.Result {
+	t.Helper()
+	done := make(chan []runner.Result, 1)
+	go func() { done <- c.SweepProgress(ctx, specs, fn) }()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		c.mu.Lock()
+		installed := c.sweep != nil
+		c.mu.Unlock()
+		if installed {
+			return done
+		}
+		select {
+		case r := <-done:
+			done <- r
+			return done
+		default:
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("sweep never installed")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func doneResult(t *testing.T, key string, index int) JobResult {
+	t.Helper()
+	return JobResult{
+		Index: index,
+		State: runner.ProgressDone,
+		Result: runner.Result{
+			Key:     key,
+			Outcome: &runner.Outcome{Trace: "t", Instructions: 1000, Accesses: 100, Hits: 90, Misses: 10, MPKI: 10},
+		},
+	}
+}
+
+func TestCoordinatorLeaseAndComplete(t *testing.T) {
+	clk := &fakeClock{}
+	m := telemetry.NewRegistry()
+	c := newTestCoordinator(t, clk, Options{Metrics: m})
+	reg := c.Register(RegisterRequest{Name: "w1"})
+	if reg.WorkerID == "" || reg.LeaseSize != DefaultLeaseSize {
+		t.Fatalf("register = %+v", reg)
+	}
+
+	specs := []runner.Spec{specN(0), specN(1), specN(2)}
+	log := &progressLog{}
+	done := startSweep(t, c, context.Background(), specs, log.add)
+
+	resp, err := c.Lease(LeaseRequest{WorkerID: reg.WorkerID})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := resp.Lease
+	if g == nil || len(g.Jobs) != 3 {
+		t.Fatalf("lease = %+v, want 3 jobs", resp)
+	}
+	for i, job := range g.Jobs {
+		if job.Index != i {
+			t.Fatalf("job %d leased index %d (want FIFO order)", i, job.Index)
+		}
+		if job.Key != keyOf(t, specs[i]) {
+			t.Fatalf("job %d key mismatch", i)
+		}
+		if job.Spec.Policy != "lru" {
+			t.Fatalf("job %d spec not normalized: %+v", i, job.Spec)
+		}
+	}
+
+	var results []JobResult
+	for i, job := range g.Jobs {
+		results = append(results, doneResult(t, job.Key, i))
+	}
+	cresp, err := c.Complete(CompleteRequest{WorkerID: reg.WorkerID, LeaseID: g.LeaseID, Sweep: g.Sweep, Results: results})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cresp.Accepted != 3 || cresp.Duplicates != 0 || cresp.Rejected != 0 {
+		t.Fatalf("complete = %+v", cresp)
+	}
+
+	got := <-done
+	for i, r := range got {
+		if r.Err != "" || r.Outcome == nil || r.Key != keyOf(t, specs[i]) {
+			t.Fatalf("result %d = %+v", i, r)
+		}
+		norm, _ := specs[i].Normalized()
+		if !reflect.DeepEqual(r.Spec, norm) {
+			t.Fatalf("result %d spec = %+v, want coordinator-normalized %+v", i, r.Spec, norm)
+		}
+		if r.Cached {
+			t.Fatalf("result %d marked cached on a cold run", i)
+		}
+		if want := []string{"started", "done"}; !reflect.DeepEqual(log.states(i), want) {
+			t.Fatalf("progress for %d = %v, want %v", i, log.states(i), want)
+		}
+	}
+	if v := m.Counter("fabric_results_accepted").Value(); v != 3 {
+		t.Fatalf("fabric_results_accepted = %d, want 3", v)
+	}
+	// The coordinator must be idle again: a second sweep starts cleanly.
+	c.mu.Lock()
+	idle := c.sweep == nil
+	c.mu.Unlock()
+	if !idle {
+		t.Fatal("coordinator still holds the finished sweep")
+	}
+}
+
+func TestCoordinatorInvalidAndCacheHit(t *testing.T) {
+	clk := &fakeClock{}
+	cache, err := runner.NewCache(16, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cached := specN(0)
+	out := &runner.Outcome{Trace: "cassandra", Instructions: 42, Accesses: 7, MPKI: 1}
+	cache.Put(keyOf(t, cached), out)
+
+	c := newTestCoordinator(t, clk, Options{Cache: cache})
+	log := &progressLog{}
+	// No workers registered: both slots must resolve at partition time.
+	got := c.SweepProgress(context.Background(), []runner.Spec{{App: "no-such-app"}, cached}, log.add)
+	if len(got) != 2 {
+		t.Fatalf("got %d results", len(got))
+	}
+	if got[0].Err == "" || got[0].Key != "" {
+		t.Fatalf("invalid slot = %+v", got[0])
+	}
+	if !got[1].Cached || got[1].Outcome != out {
+		t.Fatalf("cached slot = %+v", got[1])
+	}
+	if want := []string{"started", "invalid"}; !reflect.DeepEqual(log.states(0), want) {
+		t.Fatalf("progress for 0 = %v, want %v", log.states(0), want)
+	}
+	if want := []string{"started", "done"}; !reflect.DeepEqual(log.states(1), want) {
+		t.Fatalf("progress for 1 = %v, want %v", log.states(1), want)
+	}
+}
+
+func TestCoordinatorExpiryRequeues(t *testing.T) {
+	clk := &fakeClock{}
+	m := telemetry.NewRegistry()
+	c := newTestCoordinator(t, clk, Options{LeaseTTL: 10 * time.Second, Metrics: m})
+	a := c.Register(RegisterRequest{Name: "a"})
+	b := c.Register(RegisterRequest{Name: "b"})
+
+	specs := []runner.Spec{specN(0), specN(1), specN(2)}
+	done := startSweep(t, c, context.Background(), specs, nil)
+
+	respA, err := c.Lease(LeaseRequest{WorkerID: a.WorkerID})
+	if err != nil || respA.Lease == nil || len(respA.Lease.Jobs) != 3 {
+		t.Fatalf("lease a = %+v (%v)", respA, err)
+	}
+
+	// Worker A goes silent past the TTL; B's next call-in triggers the lazy
+	// expiry scan and inherits the requeued jobs in ascending index order.
+	clk.advance(11 * time.Second)
+	respB, err := c.Lease(LeaseRequest{WorkerID: b.WorkerID})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if respB.Lease == nil || len(respB.Lease.Jobs) != 3 {
+		t.Fatalf("lease b = %+v, want the 3 requeued jobs", respB)
+	}
+	for i, job := range respB.Lease.Jobs {
+		if job.Index != i {
+			t.Fatalf("requeued job %d has index %d (want ascending)", i, job.Index)
+		}
+	}
+	if v := m.Counter("fabric_leases_expired").Value(); v != 1 {
+		t.Fatalf("fabric_leases_expired = %d, want 1", v)
+	}
+	if v := m.Counter("fabric_jobs_requeued").Value(); v != 3 {
+		t.Fatalf("fabric_jobs_requeued = %d, want 3", v)
+	}
+
+	snap := c.Snapshot()
+	if len(snap.Workers) != 2 || !snap.Workers[0].Dead || snap.Workers[1].Dead {
+		t.Fatalf("snapshot workers = %+v, want a dead, b live", snap.Workers)
+	}
+	if snap.Workers[0].Expired != 3 {
+		t.Fatalf("a.Expired = %d, want 3", snap.Workers[0].Expired)
+	}
+	if snap.Workers[1].Active != 3 {
+		t.Fatalf("b.Active = %d, want 3", snap.Workers[1].Active)
+	}
+
+	// A late completion from the dead worker's stale lease is a no-op for
+	// unfilled slots only through its (deleted) lease — but results are still
+	// mergeable by first-write-wins: A finished job 0 before dying.
+	lateA := CompleteRequest{WorkerID: a.WorkerID, LeaseID: respA.Lease.LeaseID, Sweep: respA.Lease.Sweep,
+		Results: []JobResult{doneResult(t, keyOf(t, specs[0]), 0)}}
+	la, err := c.Complete(lateA)
+	if err != nil || la.Accepted != 1 {
+		t.Fatalf("late complete = %+v (%v), want accepted", la, err)
+	}
+
+	// B finishes the rest; its duplicate of slot 0 is dropped.
+	g := respB.Lease
+	var rs []JobResult
+	for i := range specs {
+		rs = append(rs, doneResult(t, keyOf(t, specs[i]), i))
+	}
+	cb, err := c.Complete(CompleteRequest{WorkerID: b.WorkerID, LeaseID: g.LeaseID, Sweep: g.Sweep, Results: rs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cb.Accepted != 2 || cb.Duplicates != 1 {
+		t.Fatalf("complete b = %+v, want 2 accepted / 1 duplicate", cb)
+	}
+	got := <-done
+	for i, r := range got {
+		if r.Err != "" || r.Outcome == nil {
+			t.Fatalf("result %d = %+v", i, r)
+		}
+	}
+	// A revived beat brings the dead worker back into rotation.
+	if !c.Beat(Heartbeat{WorkerID: a.WorkerID}) {
+		t.Fatal("beat from revived worker rejected")
+	}
+	if snap := c.Snapshot(); snap.Workers[0].Dead {
+		t.Fatal("worker a still dead after beating")
+	}
+}
+
+func TestCoordinatorSteal(t *testing.T) {
+	clk := &fakeClock{}
+	m := telemetry.NewRegistry()
+	c := newTestCoordinator(t, clk, Options{Metrics: m})
+	a := c.Register(RegisterRequest{})
+	b := c.Register(RegisterRequest{})
+
+	specs := make([]runner.Spec, 4)
+	for i := range specs {
+		specs[i] = specN(i)
+	}
+	done := startSweep(t, c, context.Background(), specs, nil)
+
+	respA, err := c.Lease(LeaseRequest{WorkerID: a.WorkerID})
+	if err != nil || respA.Lease == nil || len(respA.Lease.Jobs) != 4 {
+		t.Fatalf("lease a = %+v (%v)", respA, err)
+	}
+	// Nothing pending: B steals the un-started tail — half of A's 4
+	// outstanding jobs, the highest indices.
+	respB, err := c.Lease(LeaseRequest{WorkerID: b.WorkerID})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := respB.Lease
+	if g == nil || !g.Stolen || len(g.Jobs) != 2 {
+		t.Fatalf("steal grant = %+v, want 2 stolen jobs", respB)
+	}
+	if g.Jobs[0].Index != 2 || g.Jobs[1].Index != 3 {
+		t.Fatalf("stole indices %d,%d, want the tail 2,3", g.Jobs[0].Index, g.Jobs[1].Index)
+	}
+	if v := m.Counter("fabric_jobs_stolen").Value(); v != 2 {
+		t.Fatalf("fabric_jobs_stolen = %d, want 2", v)
+	}
+
+	// A third request: A still holds {0,1}; stealing must leave at least one
+	// job behind, so only one is up for grabs.
+	respB2, err := c.Lease(LeaseRequest{WorkerID: b.WorkerID})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if respB2.Lease == nil || len(respB2.Lease.Jobs) != 1 || respB2.Lease.Jobs[0].Index != 1 {
+		t.Fatalf("second steal = %+v, want just index 1", respB2)
+	}
+	// Now every victim is down to a single outstanding job: no more steals.
+	respB3, err := c.Lease(LeaseRequest{WorkerID: b.WorkerID})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if respB3.Lease != nil {
+		t.Fatalf("third steal granted %+v, want poll hint", respB3.Lease)
+	}
+	if respB3.PollMs != DefaultHeartbeat.Milliseconds() {
+		t.Fatalf("poll hint = %dms, want %dms", respB3.PollMs, DefaultHeartbeat.Milliseconds())
+	}
+
+	// Drain the sweep so the background goroutine exits.
+	complete := func(w string, g *LeaseGrant, idxs ...int) {
+		var rs []JobResult
+		for _, i := range idxs {
+			rs = append(rs, doneResult(t, keyOf(t, specs[i]), i))
+		}
+		if _, err := c.Complete(CompleteRequest{WorkerID: w, LeaseID: g.LeaseID, Sweep: g.Sweep, Results: rs}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	complete(a.WorkerID, respA.Lease, 0)
+	complete(b.WorkerID, respB.Lease, 2, 3)
+	complete(b.WorkerID, respB2.Lease, 1)
+	got := <-done
+	for i, r := range got {
+		if r.Err != "" {
+			t.Fatalf("result %d = %+v", i, r)
+		}
+	}
+	snap := c.Snapshot()
+	if snap.Workers[1].Steals != 3 || snap.Workers[0].Stolen != 3 {
+		t.Fatalf("steal accounting = %+v", snap.Workers)
+	}
+}
+
+func TestCoordinatorRejectsBadResults(t *testing.T) {
+	clk := &fakeClock{}
+	c := newTestCoordinator(t, clk, Options{})
+	w := c.Register(RegisterRequest{})
+	specs := []runner.Spec{specN(0)}
+	done := startSweep(t, c, context.Background(), specs, nil)
+	resp, err := c.Lease(LeaseRequest{WorkerID: w.WorkerID})
+	if err != nil || resp.Lease == nil {
+		t.Fatalf("lease = %+v (%v)", resp, err)
+	}
+	g := resp.Lease
+
+	// Wrong key: rejected. Success without an outcome: rejected. Out-of-range
+	// index: rejected.
+	bad := CompleteRequest{WorkerID: w.WorkerID, LeaseID: g.LeaseID, Sweep: g.Sweep, Results: []JobResult{
+		{Index: 0, State: runner.ProgressDone, Result: runner.Result{Key: "deadbeef", Outcome: &runner.Outcome{}}},
+		{Index: 0, State: runner.ProgressDone, Result: runner.Result{Key: g.Jobs[0].Key}},
+		{Index: 5, State: runner.ProgressDone, Result: runner.Result{Key: g.Jobs[0].Key}},
+	}}
+	cr, err := c.Complete(bad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cr.Accepted != 0 || cr.Rejected != 3 {
+		t.Fatalf("complete = %+v, want 3 rejected", cr)
+	}
+
+	// A failed result with no error message gets a synthesized one.
+	fail := CompleteRequest{WorkerID: w.WorkerID, LeaseID: g.LeaseID, Sweep: g.Sweep, Results: []JobResult{
+		{Index: 0, State: runner.ProgressFailed, Result: runner.Result{Key: g.Jobs[0].Key}},
+	}}
+	cr, err = c.Complete(fail)
+	if err != nil || cr.Accepted != 1 {
+		t.Fatalf("complete = %+v (%v)", cr, err)
+	}
+	got := <-done
+	if got[0].Err != "failed on "+w.WorkerID {
+		t.Fatalf("failed slot err = %q", got[0].Err)
+	}
+
+	// Unknown worker and stale sweep are both terminal conditions, not merges.
+	if _, err := c.Complete(CompleteRequest{WorkerID: "w-999999", LeaseID: "x", Sweep: "y"}); err == nil {
+		t.Fatal("unknown worker accepted")
+	}
+	stale, err := c.Complete(CompleteRequest{WorkerID: w.WorkerID, LeaseID: g.LeaseID, Sweep: g.Sweep,
+		Results: []JobResult{doneResult(t, g.Jobs[0].Key, 0)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stale.Duplicates != 1 || stale.Accepted != 0 {
+		t.Fatalf("stale-sweep complete = %+v, want counted as duplicate", stale)
+	}
+}
+
+func TestCoordinatorCancelFailsUnfilledSlots(t *testing.T) {
+	clk := &fakeClock{}
+	c := newTestCoordinator(t, clk, Options{})
+	w := c.Register(RegisterRequest{})
+	specs := []runner.Spec{specN(0), specN(1)}
+	ctx, cancel := context.WithCancel(context.Background())
+	log := &progressLog{}
+	done := startSweep(t, c, ctx, specs, log.add)
+
+	resp, err := c.Lease(LeaseRequest{WorkerID: w.WorkerID, Max: 1})
+	if err != nil || resp.Lease == nil || len(resp.Lease.Jobs) != 1 {
+		t.Fatalf("lease = %+v (%v)", resp, err)
+	}
+	g := resp.Lease
+	if _, err := c.Complete(CompleteRequest{WorkerID: w.WorkerID, LeaseID: g.LeaseID, Sweep: g.Sweep,
+		Results: []JobResult{doneResult(t, g.Jobs[0].Key, 0)}}); err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+	got := <-done
+	if got[0].Err != "" {
+		t.Fatalf("completed slot = %+v", got[0])
+	}
+	if got[1].Err != "canceled: context canceled" {
+		t.Fatalf("canceled slot err = %q, want the engine's wording", got[1].Err)
+	}
+	if want := []string{"started", "canceled"}; !reflect.DeepEqual(log.states(1), want) {
+		t.Fatalf("progress for 1 = %v, want %v", log.states(1), want)
+	}
+	// The canceled sweep must not wedge the coordinator.
+	res := c.Sweep(context.Background(), nil)
+	if len(res) != 0 {
+		t.Fatalf("empty sweep = %+v", res)
+	}
+}
+
+func TestCoordinatorSweepCompletesByCacheOnly(t *testing.T) {
+	// A worker PUT into the shared cache mid-sweep does not fill slots — only
+	// Complete does — but a second sweep over the same specs resolves
+	// entirely at partition time.
+	clk := &fakeClock{}
+	cache, err := runner.NewCache(16, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := newTestCoordinator(t, clk, Options{Cache: cache})
+	w := c.Register(RegisterRequest{})
+	specs := []runner.Spec{specN(0)}
+	done := startSweep(t, c, context.Background(), specs, nil)
+	resp, err := c.Lease(LeaseRequest{WorkerID: w.WorkerID})
+	if err != nil || resp.Lease == nil {
+		t.Fatalf("lease = %+v (%v)", resp, err)
+	}
+	g := resp.Lease
+	if _, err := c.Complete(CompleteRequest{WorkerID: w.WorkerID, LeaseID: g.LeaseID, Sweep: g.Sweep,
+		Results: []JobResult{doneResult(t, g.Jobs[0].Key, 0)}}); err != nil {
+		t.Fatal(err)
+	}
+	first := <-done
+
+	second := c.Sweep(context.Background(), specs)
+	if !second[0].Cached || second[0].Outcome == nil {
+		t.Fatalf("second sweep = %+v, want a cache pre-hit", second[0])
+	}
+	// The cache pre-hit serves the SAME outcome the merge stored.
+	b1, _ := json.Marshal(first[0].Outcome)
+	b2, _ := json.Marshal(second[0].Outcome)
+	if string(b1) != string(b2) {
+		t.Fatalf("cached outcome diverged: %s vs %s", b1, b2)
+	}
+}
+
+func TestCoordinatorRejectsOverlappingSweep(t *testing.T) {
+	clk := &fakeClock{}
+	c := newTestCoordinator(t, clk, Options{})
+	specs := []runner.Spec{specN(0)}
+	done := startSweep(t, c, context.Background(), specs, nil)
+
+	overlap := c.Sweep(context.Background(), []runner.Spec{specN(1)})
+	if overlap[0].Err == "" {
+		t.Fatalf("overlapping sweep = %+v, want loud failure", overlap[0])
+	}
+
+	w := c.Register(RegisterRequest{})
+	resp, err := c.Lease(LeaseRequest{WorkerID: w.WorkerID})
+	if err != nil || resp.Lease == nil {
+		t.Fatalf("lease = %+v (%v)", resp, err)
+	}
+	g := resp.Lease
+	if _, err := c.Complete(CompleteRequest{WorkerID: w.WorkerID, LeaseID: g.LeaseID, Sweep: g.Sweep,
+		Results: []JobResult{doneResult(t, g.Jobs[0].Key, 0)}}); err != nil {
+		t.Fatal(err)
+	}
+	<-done
+}

@@ -1,0 +1,51 @@
+// Package fabric scales the runner's sweep engine from one process to a
+// coordinated fleet while preserving the repo's signature guarantee:
+// byte-identical sweep output at any parallel width — now at any fleet
+// width, across the network boundary.
+//
+// The subsystem has two halves:
+//
+//   - Coordinator partitions a sweep's job grid by canonical spec key into
+//     leases, hands leases to registered workers, tracks their heartbeats,
+//     requeues a dead worker's outstanding jobs on lease expiry, lets idle
+//     workers steal the un-started tail of a straggler's lease, and merges
+//     completed results into submission-order slots — exactly as the
+//     in-process pool does, which is what extends the golden byte-identical
+//     contract from "any pool width" to "any fleet size, any worker death
+//     schedule". It implements server.SweepRunner/ProgressRunner, so the
+//     thermod jobs API and the /v1/jobs/{id}/events SSE stream serve
+//     fleet-executed sweeps unchanged.
+//   - Worker registers with a coordinator, polls for leases, executes each
+//     job on a local runner.Engine, and reports results. Before simulating,
+//     it consults the coordinator's shared content-addressed result cache
+//     (GET/PUT keyed by the same spec hash the local cache uses), so any
+//     worker's result is location-independent and fleet-wide re-runs are
+//     cache hits.
+//
+// Determinism contract: the coordinator never reads the wall clock directly
+// (the package is inside thermolint's noambient scope); all times flow
+// through an injected NowNanos clock, used only for heartbeat ages and
+// lease expiry — never for result content. Results land in their submission
+// index regardless of which worker produced them, duplicates from
+// steal/requeue races resolve first-write-wins (a job is a pure function of
+// its spec, so duplicates are identical), and a worker-side cache flag never
+// leaks into merged output. See DESIGN.md §12 for the full argument.
+package fabric
+
+import "time"
+
+// Defaults for coordinator/worker timing and batching. All are overridable
+// via Options / flags; the golden tests shrink them to milliseconds.
+const (
+	// DefaultLeaseTTL is the heartbeat age beyond which a worker is
+	// considered dead and its outstanding jobs requeue.
+	DefaultLeaseTTL = 10 * time.Second
+	// DefaultHeartbeat is the interval workers are told to beat (and poll
+	// for work when idle). Expiry is lazy — it happens on the next worker
+	// call-in — so the TTL should be several heartbeats.
+	DefaultHeartbeat = 2 * time.Second
+	// DefaultLeaseSize is the maximum jobs granted per lease. Batches
+	// amortize round trips; the un-started tail of a batch is what idle
+	// workers steal.
+	DefaultLeaseSize = 4
+)

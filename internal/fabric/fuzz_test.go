@@ -1,0 +1,122 @@
+package fabric
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+)
+
+// The fabric wire fuzzers hold every decoder to the same contract as the
+// repo's trace/profile fuzzers: never panic, never allocate proportionally
+// to an attacker-declared count (boundedalloc's rule — the decoders bound
+// len() before walking), and accepted input must survive an encode/decode
+// round trip unchanged. The seed corpus under testdata/fuzz/ checks in the
+// interesting shapes: valid messages, boundary counts, and the malformed
+// inputs the unit tests pin.
+
+func roundTrip[T any](t *testing.T, decode func([]byte) (T, error), v T) {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatalf("re-encoding accepted message: %v", err)
+	}
+	v2, err := decode(b)
+	if err != nil {
+		t.Fatalf("re-decoding round trip: %v", err)
+	}
+	if !reflect.DeepEqual(v, v2) {
+		t.Fatalf("round trip mismatch:\n%+v\nvs\n%+v", v, v2)
+	}
+}
+
+func FuzzDecodeRegister(f *testing.F) {
+	f.Add([]byte(`{"name":"rack7"}`))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"name":"x","extra":1}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := DecodeRegister(data)
+		if err != nil {
+			return
+		}
+		roundTrip(t, DecodeRegister, m)
+	})
+}
+
+func FuzzDecodeHeartbeat(f *testing.F) {
+	f.Add([]byte(`{"worker_id":"w-000001"}`))
+	f.Add([]byte(`{"worker_id":""}`))
+	f.Add([]byte(`{"worker_id":"w"} trailing`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := DecodeHeartbeat(data)
+		if err != nil {
+			return
+		}
+		if m.WorkerID == "" {
+			t.Fatal("accepted heartbeat without worker_id")
+		}
+		roundTrip(t, DecodeHeartbeat, m)
+	})
+}
+
+func FuzzDecodeLeaseRequest(f *testing.F) {
+	f.Add([]byte(`{"worker_id":"w-000001","max":4}`))
+	f.Add([]byte(`{"worker_id":"w-000001","max":-1}`))
+	f.Add([]byte(`{"worker_id":"w-000001","max":99999999}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := DecodeLeaseRequest(data)
+		if err != nil {
+			return
+		}
+		if m.Max < 0 || m.Max > MaxLeaseJobs {
+			t.Fatalf("accepted out-of-range max %d", m.Max)
+		}
+		roundTrip(t, DecodeLeaseRequest, m)
+	})
+}
+
+func FuzzDecodeLeaseResponse(f *testing.F) {
+	f.Add([]byte(`{"poll_ms":2000}`))
+	f.Add([]byte(`{"lease":{"lease_id":"l","sweep":"s","jobs":[{"index":0,"key":"k","spec":{"app":"kafka"}}]}}`))
+	f.Add([]byte(`{"lease":{"lease_id":"l","sweep":"s","jobs":[{"index":1048576,"key":"k"}]}}`))
+	f.Add([]byte(`{"lease":{"lease_id":"l","sweep":"s","jobs":[]}}`))
+	f.Add([]byte(`{"lease":null,"poll_ms":-5}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := DecodeLeaseResponse(data)
+		if err != nil {
+			return
+		}
+		if g := m.Lease; g != nil {
+			if len(g.Jobs) == 0 || len(g.Jobs) > MaxLeaseJobs {
+				t.Fatalf("accepted grant with %d jobs", len(g.Jobs))
+			}
+			for _, j := range g.Jobs {
+				if j.Index < 0 || j.Index >= MaxJobIndex || j.Key == "" {
+					t.Fatalf("accepted bad job %+v", j)
+				}
+			}
+		}
+		roundTrip(t, DecodeLeaseResponse, m)
+	})
+}
+
+func FuzzDecodeComplete(f *testing.F) {
+	f.Add([]byte(`{"worker_id":"w","lease_id":"l","sweep":"s","results":[{"index":0,"state":"done","result":{"spec":{"app":"kafka"},"key":"k","outcome":{"trace":"kafka","instructions":1,"accesses":1,"hits":1,"misses":0,"mpki":0}}}]}`))
+	f.Add([]byte(`{"worker_id":"w","lease_id":"l","sweep":"s","results":[{"index":0,"state":"failed","result":{"error":"boom"}}]}`))
+	f.Add([]byte(`{"worker_id":"w","lease_id":"l","sweep":"s","results":[{"index":0,"state":"canceled","result":{}}]}`))
+	f.Add([]byte(`{"worker_id":"w","lease_id":"l","sweep":"s"}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := DecodeComplete(data)
+		if err != nil {
+			return
+		}
+		if len(m.Results) > MaxLeaseJobs {
+			t.Fatalf("accepted %d results", len(m.Results))
+		}
+		for _, r := range m.Results {
+			if r.Index < 0 || r.Index >= MaxJobIndex {
+				t.Fatalf("accepted bad index %d", r.Index)
+			}
+		}
+		roundTrip(t, DecodeComplete, m)
+	})
+}

@@ -1,0 +1,264 @@
+package fabric
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+
+	"thermometer/internal/runner"
+)
+
+// HTTP body bounds. Control messages are tiny; completion reports and cache
+// payloads carry outcomes, which are still small (a few hundred bytes each),
+// so even a full-size lease report fits far under the cap.
+const (
+	maxControlBody = 64 << 10
+	maxResultBody  = 8 << 20
+)
+
+// Handler returns the coordinator's fleet API:
+//
+//	POST /fabric/v1/register    join the fleet        → worker id + timings
+//	POST /fabric/v1/heartbeat   liveness beat         → 200 (404: re-register)
+//	POST /fabric/v1/lease       request work          → lease grant or poll hint
+//	POST /fabric/v1/complete    report results        → accept/duplicate/reject counts
+//	GET  /fabric/v1/cache/{key} shared result cache   → outcome JSON or 404
+//	PUT  /fabric/v1/cache/{key} publish a result      → 204
+//	GET  /fabric/v1/state       fleet snapshot        → per-worker assignment/health
+//
+// Every decoder bounds what it will allocate before trusting a count, and
+// malformed messages get 400 with a reason.
+func (c *Coordinator) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /fabric/v1/register", c.handleRegister)
+	mux.HandleFunc("POST /fabric/v1/heartbeat", c.handleHeartbeat)
+	mux.HandleFunc("POST /fabric/v1/lease", c.handleLease)
+	mux.HandleFunc("POST /fabric/v1/complete", c.handleComplete)
+	mux.HandleFunc("GET /fabric/v1/cache/{key}", c.handleCacheGet)
+	mux.HandleFunc("PUT /fabric/v1/cache/{key}", c.handleCachePut)
+	mux.HandleFunc("GET /fabric/v1/state", c.handleState)
+	return mux
+}
+
+// ServeHTTP lets the coordinator mount directly under telemetry.Mount.
+func (c *Coordinator) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	c.Handler().ServeHTTP(w, r)
+}
+
+func readBody(w http.ResponseWriter, r *http.Request, limit int64) ([]byte, bool) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, limit+1))
+	if err != nil {
+		fabricError(w, http.StatusBadRequest, "reading body: "+err.Error())
+		return nil, false
+	}
+	if int64(len(body)) > limit {
+		fabricError(w, http.StatusRequestEntityTooLarge, "request body too large")
+		return nil, false
+	}
+	return body, true
+}
+
+func (c *Coordinator) handleRegister(w http.ResponseWriter, r *http.Request) {
+	body, ok := readBody(w, r, maxControlBody)
+	if !ok {
+		return
+	}
+	req, err := DecodeRegister(body)
+	if err != nil {
+		fabricError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	fabricJSON(w, http.StatusOK, c.Register(req))
+}
+
+func (c *Coordinator) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
+	body, ok := readBody(w, r, maxControlBody)
+	if !ok {
+		return
+	}
+	hb, err := DecodeHeartbeat(body)
+	if err != nil {
+		fabricError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if !c.Beat(hb) {
+		fabricError(w, http.StatusNotFound, "unknown worker "+hb.WorkerID+" (re-register)")
+		return
+	}
+	fabricJSON(w, http.StatusOK, struct{}{})
+}
+
+func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
+	body, ok := readBody(w, r, maxControlBody)
+	if !ok {
+		return
+	}
+	req, err := DecodeLeaseRequest(body)
+	if err != nil {
+		fabricError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	resp, err := c.Lease(req)
+	if err != nil {
+		fabricError(w, http.StatusNotFound, err.Error())
+		return
+	}
+	fabricJSON(w, http.StatusOK, resp)
+}
+
+func (c *Coordinator) handleComplete(w http.ResponseWriter, r *http.Request) {
+	body, ok := readBody(w, r, maxResultBody)
+	if !ok {
+		return
+	}
+	req, err := DecodeComplete(body)
+	if err != nil {
+		fabricError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	resp, err := c.Complete(req)
+	if err != nil {
+		fabricError(w, http.StatusNotFound, err.Error())
+		return
+	}
+	fabricJSON(w, http.StatusOK, resp)
+}
+
+func (c *Coordinator) handleCacheGet(w http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("key")
+	if !isSpecKey(key) {
+		fabricError(w, http.StatusBadRequest, "malformed cache key")
+		return
+	}
+	if c.opts.Cache == nil {
+		fabricError(w, http.StatusNotFound, "no shared cache configured")
+		return
+	}
+	out, ok := c.opts.Cache.Get(key)
+	if !ok {
+		fabricError(w, http.StatusNotFound, "no cached result for "+key)
+		return
+	}
+	fabricJSON(w, http.StatusOK, out)
+}
+
+func (c *Coordinator) handleCachePut(w http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("key")
+	if !isSpecKey(key) {
+		fabricError(w, http.StatusBadRequest, "malformed cache key")
+		return
+	}
+	if c.opts.Cache == nil {
+		fabricError(w, http.StatusNotFound, "no shared cache configured")
+		return
+	}
+	body, ok := readBody(w, r, maxResultBody)
+	if !ok {
+		return
+	}
+	var out runner.Outcome
+	if err := strictDecode(body, &out); err != nil {
+		fabricError(w, http.StatusBadRequest, "malformed outcome: "+err.Error())
+		return
+	}
+	c.opts.Cache.Put(key, &out)
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// isSpecKey reports whether key looks like a runner spec content address:
+// 64 lowercase hex digits. Anything else is rejected before it can touch
+// the cache (whose disk tier uses the key as a file name).
+func isSpecKey(key string) bool {
+	if len(key) != 64 {
+		return false
+	}
+	for i := 0; i < len(key); i++ {
+		c := key[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// WorkerStatus is one worker's row in the fleet snapshot.
+type WorkerStatus struct {
+	ID             string `json:"id"`
+	Name           string `json:"name,omitempty"`
+	Dead           bool   `json:"dead,omitempty"`
+	HeartbeatAgeMs int64  `json:"heartbeat_age_ms"`
+	// Active is the worker's outstanding job count across its leases.
+	Active    int `json:"active"`
+	Completed int `json:"completed"`
+	Failed    int `json:"failed,omitempty"`
+	Steals    int `json:"steals,omitempty"`
+	Stolen    int `json:"stolen,omitempty"`
+	Expired   int `json:"expired,omitempty"`
+}
+
+// StateSnapshot is the GET /fabric/v1/state payload: the in-flight sweep's
+// fill state and the per-worker assignment/health table behind the
+// /debug/sweep fleet panel.
+type StateSnapshot struct {
+	Sweep       string         `json:"sweep,omitempty"`
+	Total       int            `json:"total"`
+	Filled      int            `json:"filled"`
+	Pending     int            `json:"pending"`
+	Outstanding int            `json:"outstanding"`
+	Workers     []WorkerStatus `json:"workers"`
+}
+
+// Snapshot assembles the fleet state under the coordinator lock.
+func (c *Coordinator) Snapshot() StateSnapshot {
+	now := c.opts.NowNanos()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var snap StateSnapshot
+	active := make(map[string]int)
+	if st := c.sweep; st != nil {
+		snap.Sweep = st.id
+		snap.Total = len(st.results)
+		snap.Pending = len(st.pending)
+		for i := range st.filled {
+			if st.filled[i] {
+				snap.Filled++
+			}
+		}
+		for _, l := range st.leases {
+			snap.Outstanding += len(l.jobs)
+			active[l.worker] += len(l.jobs)
+		}
+	}
+	snap.Workers = make([]WorkerStatus, 0, len(c.order))
+	for _, id := range c.order {
+		w := c.workers[id]
+		snap.Workers = append(snap.Workers, WorkerStatus{
+			ID: w.id, Name: w.name, Dead: w.dead,
+			HeartbeatAgeMs: (now - w.lastBeat) / 1e6,
+			Active:         active[w.id],
+			Completed:      w.completed, Failed: w.failed,
+			Steals: w.steals, Stolen: w.stolen, Expired: w.expired,
+		})
+	}
+	return snap
+}
+
+func (c *Coordinator) handleState(w http.ResponseWriter, _ *http.Request) {
+	fabricJSON(w, http.StatusOK, c.Snapshot())
+}
+
+type fabricErr struct {
+	Error string `json:"error"`
+}
+
+func fabricJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func fabricError(w http.ResponseWriter, code int, msg string) {
+	fabricJSON(w, code, fabricErr{Error: msg})
+}

@@ -1,0 +1,270 @@
+package fabric
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+
+	"thermometer/internal/runner"
+)
+
+// Wire messages for the coordinator/worker protocol. Everything is JSON over
+// HTTP: small, debuggable with curl, and strict — unknown fields are
+// rejected so a version skew between coordinator and worker fails loudly
+// instead of silently dropping a field.
+//
+// Both sides treat the peer as untrusted input: every decoder bounds the
+// collection sizes it will accept before touching them (the boundedalloc
+// analyzer's no-trusted-count-preallocation rule), and the fuzzers in
+// fuzz_test.go hold the decoders to "never panic, and accepted input
+// round-trips".
+
+// Wire bounds. MaxLeaseJobs caps the jobs in one lease grant and the
+// results in one completion report; MaxJobIndex caps a job's sweep index
+// (comfortably above the server's 4096-spec submission cap, with room for
+// embedders that raise it).
+const (
+	MaxLeaseJobs = 4096
+	MaxJobIndex  = 1 << 20
+	// maxWireName bounds free-text identity fields (worker names, IDs).
+	maxWireName = 256
+)
+
+// RegisterRequest announces a worker to the coordinator.
+type RegisterRequest struct {
+	// Name is a human-readable worker label (host:port, hostname); it shows
+	// up on /debug/sweep. Optional.
+	Name string `json:"name,omitempty"`
+}
+
+// RegisterResponse assigns the worker its identity and the fleet timing
+// parameters it must honor.
+type RegisterResponse struct {
+	WorkerID string `json:"worker_id"`
+	// HeartbeatMs is how often the worker must beat (and how often it
+	// should poll for leases when idle).
+	HeartbeatMs int64 `json:"heartbeat_ms"`
+	// LeaseTTLMs is the heartbeat age after which the coordinator declares
+	// the worker dead and requeues its jobs.
+	LeaseTTLMs int64 `json:"lease_ttl_ms"`
+	// LeaseSize is the maximum jobs the coordinator grants per lease.
+	LeaseSize int `json:"lease_size"`
+}
+
+// Heartbeat is a worker liveness beat (also implicit in every lease and
+// complete call).
+type Heartbeat struct {
+	WorkerID string `json:"worker_id"`
+}
+
+// LeaseRequest asks for work. Max caps the grant size (0 means the
+// coordinator's configured lease size).
+type LeaseRequest struct {
+	WorkerID string `json:"worker_id"`
+	Max      int    `json:"max,omitempty"`
+}
+
+// LeaseJob is one job inside a lease grant: the sweep slot it fills and the
+// normalized spec to execute. Key is the spec's content address — the
+// shared-cache key — precomputed by the coordinator so the worker never has
+// to re-derive it.
+type LeaseJob struct {
+	Index int         `json:"index"`
+	Key   string      `json:"key"`
+	Spec  runner.Spec `json:"spec"`
+}
+
+// LeaseGrant is a batch of jobs assigned to one worker.
+type LeaseGrant struct {
+	LeaseID string     `json:"lease_id"`
+	Sweep   string     `json:"sweep"`
+	Jobs    []LeaseJob `json:"jobs"`
+	// Stolen marks a grant carved out of another worker's lease (the
+	// victim's un-started tail); informational.
+	Stolen bool `json:"stolen,omitempty"`
+}
+
+// LeaseResponse answers a lease request. A nil Lease means no work is
+// available right now; the worker should poll again after PollMs.
+type LeaseResponse struct {
+	Lease  *LeaseGrant `json:"lease,omitempty"`
+	PollMs int64       `json:"poll_ms,omitempty"`
+}
+
+// JobResult is one completed job inside a completion report. State is the
+// runner's terminal progress classification ("done" or "failed" — workers
+// never report invalid or canceled jobs: specs arrive pre-normalized, and a
+// canceled worker abandons its lease instead of reporting).
+type JobResult struct {
+	Index  int           `json:"index"`
+	State  string        `json:"state"`
+	Result runner.Result `json:"result"`
+}
+
+// CompleteRequest reports the results of (part of) a lease.
+type CompleteRequest struct {
+	WorkerID string      `json:"worker_id"`
+	LeaseID  string      `json:"lease_id"`
+	Sweep    string      `json:"sweep"`
+	Results  []JobResult `json:"results"`
+}
+
+// CompleteResponse acknowledges a completion report. Duplicates counts
+// results for slots already filled (steal and requeue races — harmless,
+// first write wins); Rejected counts results that failed integrity checks
+// (key mismatch, bad state) and were discarded.
+type CompleteResponse struct {
+	Accepted   int `json:"accepted"`
+	Duplicates int `json:"duplicates,omitempty"`
+	Rejected   int `json:"rejected,omitempty"`
+}
+
+// strictDecode unmarshals JSON with unknown fields rejected and trailing
+// garbage refused.
+func strictDecode(data []byte, v any) error {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return err
+	}
+	// A second Decode must hit EOF; anything else is trailing garbage.
+	if dec.More() {
+		return errors.New("trailing data after message")
+	}
+	return nil
+}
+
+func checkName(field, s string) error {
+	if len(s) > maxWireName {
+		return fmt.Errorf("%s longer than %d bytes", field, maxWireName)
+	}
+	return nil
+}
+
+// DecodeRegister parses and validates a RegisterRequest.
+func DecodeRegister(data []byte) (RegisterRequest, error) {
+	var m RegisterRequest
+	if err := strictDecode(data, &m); err != nil {
+		return RegisterRequest{}, err
+	}
+	if err := checkName("name", m.Name); err != nil {
+		return RegisterRequest{}, err
+	}
+	return m, nil
+}
+
+// DecodeHeartbeat parses and validates a Heartbeat.
+func DecodeHeartbeat(data []byte) (Heartbeat, error) {
+	var m Heartbeat
+	if err := strictDecode(data, &m); err != nil {
+		return Heartbeat{}, err
+	}
+	if m.WorkerID == "" {
+		return Heartbeat{}, errors.New("heartbeat missing worker_id")
+	}
+	if err := checkName("worker_id", m.WorkerID); err != nil {
+		return Heartbeat{}, err
+	}
+	return m, nil
+}
+
+// DecodeLeaseRequest parses and validates a LeaseRequest. Max is clamped to
+// [0, MaxLeaseJobs] — a hostile or buggy worker cannot request an unbounded
+// grant.
+func DecodeLeaseRequest(data []byte) (LeaseRequest, error) {
+	var m LeaseRequest
+	if err := strictDecode(data, &m); err != nil {
+		return LeaseRequest{}, err
+	}
+	if m.WorkerID == "" {
+		return LeaseRequest{}, errors.New("lease request missing worker_id")
+	}
+	if err := checkName("worker_id", m.WorkerID); err != nil {
+		return LeaseRequest{}, err
+	}
+	if m.Max < 0 || m.Max > MaxLeaseJobs {
+		return LeaseRequest{}, fmt.Errorf("lease max %d out of range [0, %d]", m.Max, MaxLeaseJobs)
+	}
+	return m, nil
+}
+
+// DecodeLeaseResponse parses and validates a lease grant as received by a
+// worker. Every job index must be in range and every job must carry a
+// non-empty key; the job count is bounded by MaxLeaseJobs before the slice
+// is walked.
+func DecodeLeaseResponse(data []byte) (LeaseResponse, error) {
+	var m LeaseResponse
+	if err := strictDecode(data, &m); err != nil {
+		return LeaseResponse{}, err
+	}
+	if m.PollMs < 0 {
+		return LeaseResponse{}, fmt.Errorf("negative poll_ms %d", m.PollMs)
+	}
+	if m.Lease == nil {
+		return m, nil
+	}
+	g := m.Lease
+	if g.LeaseID == "" || g.Sweep == "" {
+		return LeaseResponse{}, errors.New("lease grant missing lease_id or sweep")
+	}
+	if err := checkName("lease_id", g.LeaseID); err != nil {
+		return LeaseResponse{}, err
+	}
+	if err := checkName("sweep", g.Sweep); err != nil {
+		return LeaseResponse{}, err
+	}
+	if len(g.Jobs) == 0 {
+		return LeaseResponse{}, errors.New("lease grant with no jobs")
+	}
+	if len(g.Jobs) > MaxLeaseJobs {
+		return LeaseResponse{}, fmt.Errorf("lease grant of %d jobs exceeds the %d-job bound", len(g.Jobs), MaxLeaseJobs)
+	}
+	for i := range g.Jobs {
+		j := &g.Jobs[i]
+		if j.Index < 0 || j.Index >= MaxJobIndex {
+			return LeaseResponse{}, fmt.Errorf("job %d: index %d out of range [0, %d)", i, j.Index, MaxJobIndex)
+		}
+		if j.Key == "" {
+			return LeaseResponse{}, fmt.Errorf("job %d: missing key", i)
+		}
+		if err := checkName("key", j.Key); err != nil {
+			return LeaseResponse{}, err
+		}
+	}
+	return m, nil
+}
+
+// DecodeComplete parses and validates a completion report as received by
+// the coordinator. The result count is bounded before the slice is walked;
+// per-result integrity (key matches the sweep slot's spec) is the
+// coordinator's job, since only it knows the sweep.
+func DecodeComplete(data []byte) (CompleteRequest, error) {
+	var m CompleteRequest
+	if err := strictDecode(data, &m); err != nil {
+		return CompleteRequest{}, err
+	}
+	if m.WorkerID == "" || m.LeaseID == "" || m.Sweep == "" {
+		return CompleteRequest{}, errors.New("completion missing worker_id, lease_id, or sweep")
+	}
+	for _, f := range []struct{ name, v string }{
+		{"worker_id", m.WorkerID}, {"lease_id", m.LeaseID}, {"sweep", m.Sweep},
+	} {
+		if err := checkName(f.name, f.v); err != nil {
+			return CompleteRequest{}, err
+		}
+	}
+	if len(m.Results) > MaxLeaseJobs {
+		return CompleteRequest{}, fmt.Errorf("completion of %d results exceeds the %d-result bound", len(m.Results), MaxLeaseJobs)
+	}
+	for i := range m.Results {
+		r := &m.Results[i]
+		if r.Index < 0 || r.Index >= MaxJobIndex {
+			return CompleteRequest{}, fmt.Errorf("result %d: index %d out of range [0, %d)", i, r.Index, MaxJobIndex)
+		}
+		if r.State != runner.ProgressDone && r.State != runner.ProgressFailed {
+			return CompleteRequest{}, fmt.Errorf("result %d: state %q (want %q or %q)", i, r.State, runner.ProgressDone, runner.ProgressFailed)
+		}
+	}
+	return m, nil
+}

@@ -1,0 +1,341 @@
+package fabric
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"thermometer/internal/runner"
+	"thermometer/internal/telemetry"
+)
+
+// Worker executes leases from a coordinator on a local runner engine. It is
+// the fleet's unit of compute: register, heartbeat, poll for leases, run
+// each job (consulting the fleet-shared result cache first), report
+// results. Configure the fields, then call Run.
+type Worker struct {
+	// Coordinator is the coordinator's base URL (e.g. "http://host:8080").
+	Coordinator string
+	// Engine runs the jobs locally. Its own cache (if any) layers under the
+	// fleet-shared one.
+	Engine *runner.Engine
+	// Name is the worker's human-readable label on /debug/sweep. Optional.
+	Name string
+	// Client is the HTTP client (nil: a client with a 1-minute timeout).
+	Client *http.Client
+	// Metrics, when non-nil, receives fabric_worker_* counters.
+	Metrics *telemetry.Registry
+
+	ready atomic.Bool
+}
+
+// Ready reports whether the worker is registered with its coordinator; the
+// thermod -worker readiness endpoint serves it.
+func (w *Worker) Ready() bool { return w.ready.Load() }
+
+// errUnknownWorker marks a 404 from the coordinator: our registration is
+// gone (coordinator restart), so re-register rather than retry.
+var errUnknownWorker = errors.New("coordinator does not know this worker")
+
+// Run drives the worker until ctx is canceled: register (with retry),
+// heartbeat in the background, and loop lease → execute → complete. On
+// cancellation mid-lease the worker reports what it finished and abandons
+// the rest — the coordinator's lease expiry requeues them. Returns ctx's
+// error on cancellation; transport errors are retried, not returned.
+func (w *Worker) Run(ctx context.Context) error {
+	if w.Coordinator == "" {
+		return fmt.Errorf("fabric: Worker.Coordinator is required")
+	}
+	if w.Engine == nil {
+		return fmt.Errorf("fabric: Worker.Engine is required")
+	}
+	defer w.ready.Store(false)
+
+	reg, err := w.register(ctx)
+	if err != nil {
+		return err
+	}
+	w.ready.Store(true)
+	beat := time.Duration(reg.HeartbeatMs) * time.Millisecond
+	if beat <= 0 {
+		beat = DefaultHeartbeat
+	}
+
+	// The heartbeat goroutine keeps the worker alive through long
+	// simulations, when the main loop goes quiet for longer than the lease
+	// TTL. It terminates with ctx (and with it, the worker) and reads the
+	// worker ID through the atomic, so a re-registration just swaps the ID
+	// instead of restarting the goroutine.
+	var workerID atomic.Value
+	workerID.Store(reg.WorkerID)
+	go w.heartbeatLoop(ctx, func() string { return workerID.Load().(string) }, beat)
+
+	for {
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		resp, err := w.lease(ctx, reg.WorkerID)
+		switch {
+		case errors.Is(err, errUnknownWorker):
+			// Coordinator restarted and forgot us; rejoin under a new ID.
+			if reg, err = w.register(ctx); err != nil {
+				return err
+			}
+			workerID.Store(reg.WorkerID)
+			continue
+		case err != nil:
+			w.count("fabric_worker_transport_errors")
+			if !sleepCtx(ctx, beat) {
+				return ctx.Err()
+			}
+			continue
+		}
+		if resp.Lease == nil {
+			poll := time.Duration(resp.PollMs) * time.Millisecond
+			if poll <= 0 {
+				poll = beat
+			}
+			if !sleepCtx(ctx, poll) {
+				return ctx.Err()
+			}
+			continue
+		}
+		w.count("fabric_worker_leases")
+		w.runLease(ctx, reg.WorkerID, resp.Lease)
+	}
+}
+
+// runLease executes the lease's jobs in ascending index order, reporting
+// each result as it lands (fine-grained completion is what lets the
+// coordinator stream partial sweep progress and steal only un-started
+// work). A canceled context abandons the remaining jobs unreported.
+func (w *Worker) runLease(ctx context.Context, workerID string, g *LeaseGrant) {
+	for _, job := range g.Jobs {
+		if ctx.Err() != nil {
+			return
+		}
+		jr, ok := w.runJob(ctx, job)
+		if !ok {
+			return
+		}
+		w.count("fabric_worker_jobs")
+		req := CompleteRequest{WorkerID: workerID, LeaseID: g.LeaseID, Sweep: g.Sweep, Results: []JobResult{jr}}
+		if err := w.complete(ctx, req); err != nil {
+			// Best effort: the result is also in the shared cache (PUT just
+			// above), so a requeued re-run resolves instantly; keep going.
+			w.count("fabric_worker_transport_errors")
+		}
+	}
+}
+
+// runJob resolves one lease job: fleet-shared cache first, local engine
+// otherwise, publishing fresh successes back to the shared cache. ok=false
+// means the job must not be reported (canceled mid-lease).
+func (w *Worker) runJob(ctx context.Context, job LeaseJob) (JobResult, bool) {
+	if out, err := w.cacheGet(ctx, job.Key); err == nil && out != nil {
+		w.count("fabric_worker_cache_hits")
+		return JobResult{
+			Index: job.Index,
+			State: runner.ProgressDone,
+			Result: runner.Result{
+				Spec: job.Spec, Key: job.Key, Cached: true, Outcome: out,
+			},
+		}, true
+	}
+	r := w.Engine.Run(ctx, job.Spec)
+	state := r.State()
+	if state == runner.ProgressCanceled {
+		return JobResult{}, false
+	}
+	if state == runner.ProgressDone && r.Outcome != nil && !r.Cached {
+		if err := w.cachePut(ctx, job.Key, r.Outcome); err == nil {
+			w.count("fabric_worker_cache_puts")
+		}
+	}
+	if state == runner.ProgressInvalid {
+		// Leased specs arrive pre-normalized, so this means coordinator and
+		// worker disagree about validity (version skew); report it as a
+		// failure — the wire protocol only carries done/failed.
+		state = runner.ProgressFailed
+	}
+	return JobResult{Index: job.Index, State: state, Result: r}, true
+}
+
+func (w *Worker) heartbeatLoop(ctx context.Context, workerID func() string, every time.Duration) {
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			// An unknown-worker answer is left to the lease loop: it owns
+			// re-registration, the beat just stays quiet until the ID swaps.
+			if err := w.beat(ctx, workerID()); err != nil && !errors.Is(err, errUnknownWorker) {
+				w.count("fabric_worker_transport_errors")
+			}
+		}
+	}
+}
+
+// register joins the fleet, retrying transport errors until ctx ends.
+func (w *Worker) register(ctx context.Context) (RegisterResponse, error) {
+	for {
+		var resp RegisterResponse
+		err := w.post(ctx, "/fabric/v1/register", RegisterRequest{Name: w.Name}, &resp)
+		if err == nil {
+			if resp.WorkerID == "" {
+				err = errors.New("register: empty worker_id")
+			} else {
+				return resp, nil
+			}
+		}
+		w.count("fabric_worker_transport_errors")
+		if !sleepCtx(ctx, time.Second) {
+			return RegisterResponse{}, ctx.Err()
+		}
+	}
+}
+
+func (w *Worker) beat(ctx context.Context, workerID string) error {
+	var resp struct{}
+	return w.post(ctx, "/fabric/v1/heartbeat", Heartbeat{WorkerID: workerID}, &resp)
+}
+
+func (w *Worker) lease(ctx context.Context, workerID string) (LeaseResponse, error) {
+	body, err := w.postRaw(ctx, "/fabric/v1/lease", LeaseRequest{WorkerID: workerID})
+	if err != nil {
+		return LeaseResponse{}, err
+	}
+	return DecodeLeaseResponse(body)
+}
+
+func (w *Worker) complete(ctx context.Context, req CompleteRequest) error {
+	var resp CompleteResponse
+	return w.post(ctx, "/fabric/v1/complete", req, &resp)
+}
+
+func (w *Worker) cacheGet(ctx context.Context, key string) (*runner.Outcome, error) {
+	httpReq, err := http.NewRequestWithContext(ctx, http.MethodGet, w.Coordinator+"/fabric/v1/cache/"+key, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := w.client().Do(httpReq)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, maxControlBody))
+		return nil, fmt.Errorf("cache get %s: %s", key, resp.Status)
+	}
+	body, err := io.ReadAll(io.LimitReader(resp.Body, maxResultBody))
+	if err != nil {
+		return nil, err
+	}
+	var out runner.Outcome
+	if err := strictDecode(body, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+func (w *Worker) cachePut(ctx context.Context, key string, out *runner.Outcome) error {
+	b, err := json.Marshal(out)
+	if err != nil {
+		return err
+	}
+	httpReq, err := http.NewRequestWithContext(ctx, http.MethodPut, w.Coordinator+"/fabric/v1/cache/"+key, bytes.NewReader(b))
+	if err != nil {
+		return err
+	}
+	httpReq.Header.Set("Content-Type", "application/json")
+	resp, err := w.client().Do(httpReq)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, io.LimitReader(resp.Body, maxControlBody))
+	if resp.StatusCode != http.StatusNoContent {
+		return fmt.Errorf("cache put %s: %s", key, resp.Status)
+	}
+	return nil
+}
+
+// post sends v as JSON and strict-decodes the 200 response into resp.
+func (w *Worker) post(ctx context.Context, path string, v, resp any) error {
+	body, err := w.postRaw(ctx, path, v)
+	if err != nil {
+		return err
+	}
+	return strictDecode(body, resp)
+}
+
+func (w *Worker) postRaw(ctx context.Context, path string, v any) ([]byte, error) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return nil, err
+	}
+	httpReq, err := http.NewRequestWithContext(ctx, http.MethodPost, w.Coordinator+path, bytes.NewReader(b))
+	if err != nil {
+		return nil, err
+	}
+	httpReq.Header.Set("Content-Type", "application/json")
+	resp, err := w.client().Do(httpReq)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, maxResultBody))
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode == http.StatusNotFound {
+		return nil, fmt.Errorf("%s: %w", path, errUnknownWorker)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("%s: %s: %s", path, resp.Status, truncate(body, 200))
+	}
+	return body, nil
+}
+
+func (w *Worker) client() *http.Client {
+	if w.Client != nil {
+		return w.Client
+	}
+	return defaultClient
+}
+
+var defaultClient = &http.Client{Timeout: time.Minute}
+
+func (w *Worker) count(name string) {
+	if w.Metrics != nil {
+		w.Metrics.Counter(name).Inc()
+	}
+}
+
+// sleepCtx sleeps for d unless ctx ends first; it reports whether the full
+// sleep elapsed.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return false
+	case <-t.C:
+		return true
+	}
+}
+
+func truncate(b []byte, n int) string {
+	if len(b) <= n {
+		return string(b)
+	}
+	return string(b[:n]) + "…"
+}

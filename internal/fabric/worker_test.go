@@ -1,0 +1,140 @@
+package fabric
+
+import (
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"thermometer/internal/runner"
+	"thermometer/internal/telemetry"
+)
+
+// TestWorkerFleetMatchesSingleNode is the in-process half of the fleet
+// byte-identity contract: two HTTP workers on real engines must merge to
+// exactly the bytes a single-node engine produces for the same grid. (The
+// cross-process half, including a worker killed mid-sweep, lives in the
+// thermod integration test.)
+func TestWorkerFleetMatchesSingleNode(t *testing.T) {
+	specs := []runner.Spec{
+		{App: "cassandra", Mode: runner.ModeReplay, Scale: 64},
+		{App: "kafka", Mode: runner.ModeReplay, Scale: 64},
+		{App: "mysql", Mode: runner.ModeReplay, Scale: 64, Policy: "srrip"},
+		{App: "python", Mode: runner.ModeReplay, Scale: 64, Policy: "ghrp"},
+		{App: "bogus-app"}, // invalid slots must match too
+		{App: "tomcat", Mode: runner.ModeReplay, Scale: 64},
+	}
+	single := (&runner.Engine{Workers: 1}).Sweep(context.Background(), specs)
+
+	cache, err := runner.NewCache(64, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	clk := &fakeClock{}
+	// Real wall-clock pacing is irrelevant here — the workers stay alive, so
+	// the fake clock never advances and nothing expires.
+	coord := newTestCoordinator(t, clk, Options{
+		Cache:     cache,
+		Heartbeat: 5 * time.Millisecond,
+		LeaseSize: 2,
+	})
+	srv := httptest.NewServer(coord.Handler())
+	defer srv.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	workerErr := make(chan error, 2)
+	workers := make([]*Worker, 2)
+	for i := range workers {
+		workers[i] = &Worker{
+			Coordinator: srv.URL,
+			Engine:      &runner.Engine{Workers: 1},
+			Name:        "test-worker",
+			Metrics:     telemetry.NewRegistry(),
+		}
+		go func(w *Worker) { workerErr <- w.Run(ctx) }(workers[i])
+	}
+
+	sweepCtx, sweepCancel := context.WithTimeout(context.Background(), time.Minute)
+	defer sweepCancel()
+	fleet := coord.SweepProgress(sweepCtx, specs, nil)
+
+	b1, err := json.MarshalIndent(single, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := json.MarshalIndent(fleet, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b1) != string(b2) {
+		t.Fatalf("fleet results diverge from single-node:\nsingle: %s\nfleet:  %s", b1, b2)
+	}
+
+	for _, w := range workers {
+		if !w.Ready() {
+			t.Fatal("worker not ready after registering")
+		}
+	}
+	cancel()
+	for range workers {
+		select {
+		case err := <-workerErr:
+			if err != context.Canceled {
+				t.Fatalf("worker exit = %v, want context.Canceled", err)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("worker did not exit on cancel")
+		}
+	}
+	for _, w := range workers {
+		if w.Ready() {
+			t.Fatal("worker still ready after Run returned")
+		}
+	}
+}
+
+// TestWorkerServesSharedCacheHits pins the shared-cache path: a key already
+// in the coordinator's cache reaches the merge without the worker's engine
+// running at all — and the merged bytes still carry Cached only when the
+// coordinator itself pre-hit.
+func TestWorkerSharedCachePrehit(t *testing.T) {
+	spec := runner.Spec{App: "drupal", Mode: runner.ModeReplay, Scale: 64}
+	norm, err := spec.Normalized()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := (&runner.Engine{Workers: 1}).Sweep(context.Background(), []runner.Spec{spec})[0].Outcome
+	if out == nil {
+		t.Fatal("seed run failed")
+	}
+	cache, err := runner.NewCache(16, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache.Put(norm.Key(), out)
+
+	clk := &fakeClock{}
+	coord := newTestCoordinator(t, clk, Options{Cache: cache, Heartbeat: 5 * time.Millisecond})
+	srv := httptest.NewServer(coord.Handler())
+	defer srv.Close()
+
+	// No worker is running: the sweep must still complete instantly from the
+	// coordinator cache.
+	res := coord.Sweep(context.Background(), []runner.Spec{spec})
+	if !res[0].Cached || res[0].Outcome != out {
+		t.Fatalf("pre-hit result = %+v", res[0])
+	}
+}
+
+// TestWorkerRequiresConfig pins the fail-fast contract for missing fields.
+func TestWorkerRequiresConfig(t *testing.T) {
+	ctx := context.Background()
+	if err := (&Worker{Engine: &runner.Engine{}}).Run(ctx); err == nil {
+		t.Fatal("missing Coordinator accepted")
+	}
+	if err := (&Worker{Coordinator: "http://localhost:0"}).Run(ctx); err == nil {
+		t.Fatal("missing Engine accepted")
+	}
+}

@@ -1,0 +1,74 @@
+package perfsnap
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Baseline snapshots are checked in as BENCH_<n>.json, where <n> grows by
+// one each time a PR re-baselines. "The newest baseline" therefore means the
+// largest <n> — numeric order, so BENCH_10 is newer than BENCH_2 (the shell
+// equivalent CI used to carry was `ls BENCH_*.json | sort -V | tail -1`).
+
+// NewestSnapshot returns the name with the largest BENCH_<n>.json number
+// among names, and false when none matches the pattern. Non-matching names
+// (other files in the directory listing) are ignored, as are BENCH files
+// with non-numeric or negative suffixes. Ties cannot occur in a directory
+// listing; among equal numbers elsewhere the first wins.
+func NewestSnapshot(names []string) (string, bool) {
+	best, bestN := "", -1
+	for _, name := range names {
+		n, ok := snapshotNumber(name)
+		if ok && n > bestN {
+			best, bestN = name, n
+		}
+	}
+	return best, bestN >= 0
+}
+
+// snapshotNumber extracts <n> from a BENCH_<n>.json name.
+func snapshotNumber(name string) (int, bool) {
+	rest, ok := strings.CutPrefix(name, "BENCH_")
+	if !ok {
+		return 0, false
+	}
+	digits, ok := strings.CutSuffix(rest, ".json")
+	if !ok || digits == "" {
+		return 0, false
+	}
+	n, err := strconv.Atoi(digits)
+	if err != nil || n < 0 || strings.HasPrefix(digits, "+") {
+		return 0, false
+	}
+	return n, true
+}
+
+// NewestBaseline returns the path of the newest BENCH_<n>.json in dir
+// ("" or "." for the current directory). It errors when the directory is
+// unreadable or holds no baseline — CI must fail loudly on a missing
+// baseline, not silently skip the gate.
+func NewestBaseline(dir string) (string, error) {
+	if dir == "" {
+		dir = "."
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return "", err
+	}
+	names := make([]string, 0, len(entries))
+	for _, e := range entries {
+		if !e.IsDir() {
+			names = append(names, e.Name())
+		}
+	}
+	name, ok := NewestSnapshot(names)
+	if !ok {
+		return "", fmt.Errorf("no BENCH_<n>.json baseline in %s", dir)
+	}
+	if dir == "." {
+		return name, nil
+	}
+	return dir + string(os.PathSeparator) + name, nil
+}

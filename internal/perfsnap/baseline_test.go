@@ -1,0 +1,54 @@
+package perfsnap
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestNewestSnapshot(t *testing.T) {
+	cases := []struct {
+		name  string
+		names []string
+		want  string
+		ok    bool
+	}{
+		{"numeric not lexical", []string{"BENCH_2.json", "BENCH_10.json", "BENCH_9.json"}, "BENCH_10.json", true},
+		{"single", []string{"BENCH_0.json"}, "BENCH_0.json", true},
+		{"ignores other files", []string{"README.md", "BENCH_1.json", "bench-head.json", "BENCH_notes.txt"}, "BENCH_1.json", true},
+		{"ignores malformed suffixes", []string{"BENCH_.json", "BENCH_1x.json", "BENCH_-3.json", "BENCH_+4.json", "BENCH_2.json"}, "BENCH_2.json", true},
+		{"empty", nil, "", false},
+		{"no match", []string{"bench.json", "BENCH_1.txt"}, "", false},
+	}
+	for _, tc := range cases {
+		got, ok := NewestSnapshot(tc.names)
+		if got != tc.want || ok != tc.ok {
+			t.Errorf("%s: NewestSnapshot(%v) = %q, %v; want %q, %v",
+				tc.name, tc.names, got, ok, tc.want, tc.ok)
+		}
+	}
+}
+
+func TestNewestBaseline(t *testing.T) {
+	dir := t.TempDir()
+	for _, name := range []string{"BENCH_1.json", "BENCH_12.json", "BENCH_3.json", "notes.txt"} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte("{}"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := NewestBaseline(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := filepath.Join(dir, "BENCH_12.json"); got != want {
+		t.Fatalf("NewestBaseline = %q, want %q", got, want)
+	}
+
+	empty := t.TempDir()
+	if _, err := NewestBaseline(empty); err == nil {
+		t.Fatal("empty dir: want an error, not a silent skip")
+	}
+	if _, err := NewestBaseline(filepath.Join(dir, "missing")); err == nil {
+		t.Fatal("unreadable dir: want an error")
+	}
+}

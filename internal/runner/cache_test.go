@@ -80,3 +80,58 @@ func TestCacheConcurrentAccess(t *testing.T) {
 		}
 	})
 }
+
+// TestCacheDiskPromotion pins the one-disk-read-per-key contract: a disk
+// hit is promoted into the memory LRU, so while the key stays resident the
+// file is never read again — deleting it after the first Get must not hurt.
+func TestCacheDiskPromotion(t *testing.T) {
+	dir := t.TempDir()
+	want := &Outcome{Trace: "promoted", Instructions: 7}
+	seed, err := NewCache(8, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seed.Put("cafef00d", want)
+
+	// A fresh cache over the same directory: cold memory, warm disk.
+	c, err := NewCache(8, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Get("cafef00d"); !ok {
+		t.Fatal("disk tier miss")
+	}
+	// Remove the backing file: if the second Get re-read the disk tier it
+	// would now miss, so a hit proves the promotion carried the result.
+	if err := os.Remove(filepath.Join(dir, "cafef00d.json")); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := c.Get("cafef00d")
+	if !ok {
+		t.Fatal("promoted key missed after backing file removal: disk re-read instead of memory hit")
+	}
+	if *got != *want {
+		t.Fatalf("promoted outcome mutated: %+v vs %+v", got, want)
+	}
+	s := c.Stats()
+	if s.DiskHits != 1 || s.Promotions != 1 || s.Hits != 1 {
+		t.Fatalf("stats = %+v, want exactly one disk hit, one promotion, one memory hit", s)
+	}
+}
+
+// TestResultStateFallback pins the wire-side classification: a Result that
+// crossed a JSON boundary (no recorded state) classifies by Err presence.
+func TestResultStateFallback(t *testing.T) {
+	if got := (Result{}).State(); got != ProgressDone {
+		t.Fatalf("empty result state = %q, want %q", got, ProgressDone)
+	}
+	if got := (Result{Err: "boom"}).State(); got != ProgressFailed {
+		t.Fatalf("failed result state = %q, want %q", got, ProgressFailed)
+	}
+	// An engine-recorded state survives: "canceled: ..." wording stays
+	// canceled, not re-parsed.
+	r := Result{Err: "canceled: context canceled", state: ProgressCanceled}
+	if got := r.State(); got != ProgressCanceled {
+		t.Fatalf("recorded state = %q, want %q", got, ProgressCanceled)
+	}
+}

@@ -70,6 +70,21 @@ type Result struct {
 	state string
 }
 
+// State returns the result's terminal Progress* classification. For results
+// produced by an Engine it is the state recorded at the moment the outcome
+// was decided; for hand-built (or wire-decoded) Results it falls back to
+// ProgressDone/ProgressFailed by Err presence. The fabric worker uses it to
+// classify results without re-parsing Err wording.
+func (r Result) State() string {
+	if r.state != "" {
+		return r.state
+	}
+	if r.Err == "" {
+		return ProgressDone
+	}
+	return ProgressFailed
+}
+
 // Progress states reported to a SweepProgress callback. A job emits exactly
 // two notifications: ProgressStarted when a worker picks it up, then one of
 // the terminal states mirroring its Result.
@@ -295,6 +310,7 @@ func (e *Engine) publishCacheStats() {
 		st := e.Cache.Stats()
 		m.SetCounter("runner_cache_mem_hits", st.Hits)
 		m.SetCounter("runner_cache_disk_hits", st.DiskHits)
+		m.SetCounter("runner_cache_promotions", st.Promotions)
 		m.SetCounter("runner_cache_lookup_misses", st.Misses)
 		m.SetCounter("runner_cache_evictions", st.Evictions)
 		m.SetCounter("runner_cache_disk_errors", st.DiskErrors)
